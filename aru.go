@@ -1,0 +1,152 @@
+// Package aru is a log-structured Logical Disk with atomic recovery
+// units (ARUs), reproducing "Atomic Recovery Units: Failure Atomicity
+// for Logical Disks" (Grimm, Hsieh, Kaashoek, de Jonge; ICDCS 1996).
+//
+// The Logical Disk (LD) separates disk management from file management:
+// clients address logical blocks arranged in ordered lists and never
+// see physical placement. An atomic recovery unit brackets several LD
+// operations between BeginARU and EndARU so that, after a crash, either
+// all or none of them are persistent:
+//
+//	layout := aru.DefaultLayout(800)           // the paper's 400 MB format
+//	dev := aru.NewMemDevice(layout.DiskBytes())
+//	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+//	lst, _ := d.NewList(aru.Simple)
+//
+//	a, _ := d.BeginARU()
+//	b, _ := d.NewBlock(a, lst, aru.NilBlock)   // allocate + insert
+//	_ = d.Write(a, b, payload)                 // shadow write
+//	_ = d.EndARU(a)                            // all-or-nothing unit
+//	_ = d.Flush()                              // …and now durable
+//
+// ARUs provide failure atomicity only: no isolation (each ARU reads its
+// own shadow state; clients do their own locking) and no durability
+// (EndARU does not flush). See the package documentation of
+// aru/internal/core for the full semantics, and DESIGN.md for how the
+// pieces map onto the paper.
+package aru
+
+import (
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// Identifier types of the LD interface.
+type (
+	// BlockID names a logical disk block; 0 (NilBlock) is never valid.
+	BlockID = core.BlockID
+	// ListID names an ordered list of blocks; 0 (NilList) is never
+	// valid.
+	ListID = core.ListID
+	// ARUID names an atomic recovery unit. Pass Simple (0) to run an
+	// operation outside any ARU.
+	ARUID = core.ARUID
+)
+
+// Sentinel identifiers.
+const (
+	// NilBlock marks "no block": the head position for NewBlock, the
+	// successor of a list's last block.
+	NilBlock = core.NilBlock
+	// NilList marks "no list".
+	NilList = core.NilList
+	// Simple tags an operation that is not part of any ARU; it forms
+	// an atomic unit by itself (a "simple operation").
+	Simple = seg.SimpleARU
+)
+
+// Disk re-exports the LLD engine. All methods are safe for concurrent
+// use; see aru/internal/core.LLD.
+type Disk = core.LLD
+
+// Params configures Format and Open; see aru/internal/core.Params.
+type Params = core.Params
+
+// Layout describes the on-disk geometry; see aru/internal/seg.Layout.
+type Layout = seg.Layout
+
+// Variant selects the concurrent-ARU prototype or the sequential-ARU
+// baseline (the paper's "new" and "old" builds).
+type Variant = core.Variant
+
+// Variants.
+const (
+	// VariantNew is the paper's prototype with concurrent ARUs.
+	VariantNew = core.VariantNew
+	// VariantOld is the 1993 LLD baseline with sequential ARUs.
+	VariantOld = core.VariantOld
+)
+
+// ReadSemantics selects which of the paper's three Read-visibility
+// options (§3.3) Read provides.
+type ReadSemantics = core.ReadSemantics
+
+// Read-visibility options.
+const (
+	// ReadOwnShadow: an ARU reads its own shadow state; simple reads
+	// see the committed state (the paper's choice, option 3).
+	ReadOwnShadow = core.ReadOwnShadow
+	// ReadAnyShadow: every client sees the most recent shadow version
+	// of any ARU (option 1).
+	ReadAnyShadow = core.ReadAnyShadow
+	// ReadCommitted: every client sees only committed versions
+	// (option 2).
+	ReadCommitted = core.ReadCommitted
+)
+
+// CleanerPolicy selects how the segment cleaner picks victims.
+type CleanerPolicy = core.CleanerPolicy
+
+// Cleaner policies.
+const (
+	// CleanGreedy relocates the segments with the fewest live blocks.
+	CleanGreedy = core.CleanGreedy
+	// CleanCostBenefit weighs freed space against copying cost and
+	// segment age, as in Sprite LFS.
+	CleanCostBenefit = core.CleanCostBenefit
+)
+
+// Stats are the operation counters of a Disk.
+type Stats = core.Stats
+
+// RecoveryReport summarizes what Open reconstructed after a crash.
+type RecoveryReport = core.RecoveryReport
+
+// Errors of the LD interface, re-exported for errors.Is tests.
+var (
+	ErrNoSuchBlock      = core.ErrNoSuchBlock
+	ErrNoSuchList       = core.ErrNoSuchList
+	ErrNoSuchARU        = core.ErrNoSuchARU
+	ErrARUActive        = core.ErrARUActive
+	ErrNotMember        = core.ErrNotMember
+	ErrNoSpace          = core.ErrNoSpace
+	ErrAbortUnsupported = core.ErrAbortUnsupported
+	ErrClosed           = core.ErrClosed
+)
+
+// DefaultLayout returns the paper's disk format — 4 KB blocks, 0.5 MB
+// segments — with numSegs log segments (800 gives the evaluation's
+// 400 MB partition).
+func DefaultLayout(numSegs int) Layout {
+	return seg.DefaultLayout(numSegs)
+}
+
+// Format initializes dev with the layout in p and returns a fresh
+// logical disk.
+func Format(dev disk.Disk, p Params) (*Disk, error) {
+	return core.Format(dev, p)
+}
+
+// Open mounts an LD-formatted device, running crash recovery: the
+// newest checkpoint is loaded, the log beyond it is replayed (applying
+// only operations whose ARU committed), and blocks leaked by
+// uncommitted ARUs are freed.
+func Open(dev disk.Disk, p Params) (*Disk, error) {
+	return core.Open(dev, p)
+}
+
+// OpenReport is Open plus a report of what recovery did.
+func OpenReport(dev disk.Disk, p Params) (*Disk, RecoveryReport, error) {
+	return core.OpenReport(dev, p)
+}

@@ -1,0 +1,187 @@
+package aru_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aru"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end to end: format,
+// ARU commit, crash, recovery, file system.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	layout := aru.DefaultLayout(32)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lst, err := d.NewList(aru.Simple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewBlock(a, lst, aru.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, d.BlockSize())
+	if err := d.Write(a, b, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndARU(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and recover through the public API.
+	d2, rpt, err := aru.OpenReport(dev.Reopen(dev.Image()), aru.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.ARUsRecovered == 0 {
+		t.Fatalf("recovery report: %+v", rpt)
+	}
+	got := make([]byte, d2.BlockSize())
+	if err := d2.Read(aru.Simple, b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload lost across recovery")
+	}
+	if err := d2.Read(aru.Simple, 9999, got); !errors.Is(err, aru.ErrNoSuchBlock) {
+		t.Fatalf("error re-export broken: %v", err)
+	}
+}
+
+func TestPublicFS(t *testing.T) {
+	layout := aru.DefaultLayout(32)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := aru.MkFS(d, aru.FSConfig{NumInodes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("through the facade"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := aru.Open(dev, aru.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := aru.MountFS(d2, aru.DeleteListFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "through the facade" {
+		t.Fatalf("contents = %q", data)
+	}
+	if _, err := fs2.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsExported(t *testing.T) {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout, Variant: aru.VariantOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BeginARU(); !errors.Is(err, aru.ErrARUActive) {
+		t.Fatalf("sequential variant allowed concurrency: %v", err)
+	}
+	if err := d.AbortARU(a); !errors.Is(err, aru.ErrAbortUnsupported) {
+		t.Fatalf("abort on old variant: %v", err)
+	}
+	if err := d.EndARU(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileDevicePersistence runs the whole stack against a file-backed
+// device: data written before Close must be there after reopening the
+// file from disk.
+func TestFileDevicePersistence(t *testing.T) {
+	path := t.TempDir() + "/disk.lld"
+	layout := aru.DefaultLayout(16)
+	dev, err := aru.CreateFileDevice(path, layout.DiskBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aru.Format(dev, aru.Params{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := aru.MkFS(d, aru.FSConfig{NumInodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("on real storage"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev2, err := aru.OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dev2.Close() }()
+	d2, err := aru.Open(dev2, aru.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := aru.MountFS(d2, aru.DeleteBlocksFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := g.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "on real storage" {
+		t.Fatalf("contents = %q", body)
+	}
+}

@@ -1,0 +1,86 @@
+// Command aru-bench regenerates the tables and figures of the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	aru-bench [-exp all|table1|fig5|fig6|arulat] [-scale N] [-verify]
+//
+// -scale N divides the workload sizes by N for quick runs; the paper's
+// full scale is -scale 1 (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aru/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent")
+	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
+	verify := flag.Bool("verify", false, "verify payloads during read phases")
+	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Verify: *verify}
+	start := time.Now()
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "aru-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(harness.FormatTable1())
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := harness.RunFig5(o)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.CSVFig5(res))
+		} else {
+			fmt.Println(harness.FormatFig5(res))
+		}
+		return nil
+	})
+	run("fig6", func() error {
+		res, err := harness.RunFig6(o)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.CSVFig6(res))
+		} else {
+			fmt.Println(harness.FormatFig6(res))
+		}
+		return nil
+	})
+	run("arulat", func() error {
+		res, err := harness.RunARULatency(harness.Table1()[1], 500000, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatARULat(res))
+		return nil
+	})
+	run("concurrent", func() error {
+		res, err := harness.RunConcurrentClients(harness.Table1()[1],
+			[]int{1, 2, 4, 8, 16}, 20000, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatConcurrent(res))
+		return nil
+	})
+	fmt.Printf("(wall time %v, scale 1/%d)\n", time.Since(start).Round(time.Millisecond), *scale)
+}

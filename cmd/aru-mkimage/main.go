@@ -1,0 +1,87 @@
+// Command aru-mkimage builds a logical-disk image file — a formatted
+// LLD disk carrying a populated Minix file system — for use with
+// aru-fsck and aru-inspect. With -crash N the simulated machine loses
+// power after N device writes, so the image is a crash state.
+//
+// Usage:
+//
+//	aru-mkimage [-segs N] [-files N] [-crash N] image.lld
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aru"
+)
+
+func main() {
+	segs := flag.Int("segs", 64, "number of 0.5 MB log segments")
+	files := flag.Int("files", 50, "files to create")
+	crash := flag.Int64("crash", 0, "crash after this many device writes (0 = run to completion)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aru-mkimage [-segs N] [-files N] [-crash N] image.lld")
+		os.Exit(2)
+	}
+
+	layout := aru.DefaultLayout(*segs)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	if *crash > 0 {
+		dev.SetFaultPlan(aru.FaultPlan{CrashAfterWrites: *crash, TornSectors: 7})
+	}
+
+	err := func() error {
+		d, err := aru.Format(dev, aru.Params{Layout: layout})
+		if err != nil {
+			return err
+		}
+		fs, err := aru.MkFS(d, aru.FSConfig{NumInodes: 4096})
+		if err != nil {
+			return err
+		}
+		if err := fs.Mkdir("/data"); err != nil {
+			return err
+		}
+		for i := 0; i < *files; i++ {
+			f, err := fs.Create(fmt.Sprintf("/data/file%04d", i))
+			if err != nil {
+				return err
+			}
+			body := make([]byte, 512+i*61%3000)
+			for j := range body {
+				body[j] = byte(i + j)
+			}
+			if _, err := f.WriteAt(body, 0); err != nil {
+				return err
+			}
+			if i%8 == 7 {
+				if err := fs.Remove(fmt.Sprintf("/data/file%04d", i-4)); err != nil {
+					return err
+				}
+			}
+			if i%10 == 9 {
+				if err := fs.Sync(); err != nil {
+					return err
+				}
+			}
+		}
+		return d.Close()
+	}()
+	if err != nil {
+		if !dev.Crashed() {
+			fmt.Fprintln(os.Stderr, "aru-mkimage:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simulated power failure triggered: %v\n", err)
+	}
+
+	if werr := os.WriteFile(flag.Arg(0), dev.Image(), 0o644); werr != nil {
+		fmt.Fprintln(os.Stderr, "aru-mkimage:", werr)
+		os.Exit(1)
+	}
+	st := dev.Stats()
+	fmt.Printf("wrote %s (%d MB, %d device writes, crashed=%v)\n",
+		flag.Arg(0), layout.DiskBytes()>>20, st.Writes, dev.Crashed())
+}

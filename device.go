@@ -1,0 +1,57 @@
+package aru
+
+import (
+	"aru/internal/disk"
+)
+
+// Device is the sector-addressed block device a logical disk runs on.
+type Device = disk.Disk
+
+// SimDevice is the built-in simulated device: an in-memory medium with
+// a deterministic service-time model, a virtual clock and fault
+// injection (crash points, torn writes). See aru/internal/disk.Sim.
+type SimDevice = disk.Sim
+
+// Geometry is the performance model of a simulated device.
+type Geometry = disk.Geometry
+
+// DeviceStats are the counters of a simulated device, including the
+// virtual-clock time consumed by I/O.
+type DeviceStats = disk.Stats
+
+// FaultPlan configures fault injection on a simulated device.
+type FaultPlan = disk.FaultPlan
+
+// NewMemDevice returns a simulated device with no service-time model —
+// the right choice when only contents and crash behaviour matter.
+func NewMemDevice(capacity int64) *SimDevice {
+	return disk.NewMem(capacity)
+}
+
+// NewSimDevice returns a simulated device of the given capacity with
+// the service-time model g driving its virtual clock.
+func NewSimDevice(capacity int64, g Geometry) *SimDevice {
+	return disk.NewSim(capacity, g)
+}
+
+// HPC3010 returns the geometry of the paper's testbed disk (SCSI-II,
+// 5400 rpm, 11.5 ms average seek, ~2.3 MB/s media rate).
+func HPC3010() Geometry {
+	return disk.HPC3010()
+}
+
+// FileDevice is a device backed by a file on the host file system, for
+// logical disks that should actually persist. It has no service-time
+// model or fault injection; experiments use the simulated device.
+type FileDevice = disk.File
+
+// CreateFileDevice creates (or truncates) path as a device of the
+// given capacity.
+func CreateFileDevice(path string, capacity int64) (*FileDevice, error) {
+	return disk.CreateFile(path, capacity)
+}
+
+// OpenFileDevice opens an existing device file.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	return disk.OpenFile(path)
+}

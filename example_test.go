@@ -1,0 +1,157 @@
+package aru_test
+
+import (
+	"fmt"
+	"log"
+
+	"aru"
+)
+
+// Example shows the core ARU contract: several operations commit as one
+// unit; a crash before the unit is flushed rolls all of it back.
+func Example() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lst, _ := d.NewList(aru.Simple)
+	payload := make([]byte, d.BlockSize())
+
+	a, _ := d.BeginARU()
+	b1, _ := d.NewBlock(a, lst, aru.NilBlock)
+	copy(payload, "meta-data update one")
+	_ = d.Write(a, b1, payload)
+	b2, _ := d.NewBlock(a, lst, b1)
+	copy(payload, "meta-data update two")
+	_ = d.Write(a, b2, payload)
+	_ = d.EndARU(a) // atomic…
+	_ = d.Flush()   // …and durable
+
+	blocks, _ := d.ListBlocks(aru.Simple, lst)
+	fmt.Println("blocks on the list:", len(blocks))
+	// Output:
+	// blocks on the list: 2
+}
+
+// ExampleDisk_BeginARU demonstrates isolation: the shadow state of an
+// open ARU is invisible to other clients until commit.
+func ExampleDisk_BeginARU() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+	lst, _ := d.NewList(aru.Simple)
+
+	a, _ := d.BeginARU()
+	_, _ = d.NewBlock(a, lst, aru.NilBlock)
+
+	committed, _ := d.ListBlocks(aru.Simple, lst)
+	own, _ := d.ListBlocks(a, lst)
+	fmt.Printf("committed view: %d blocks, ARU's own view: %d blocks\n", len(committed), len(own))
+	_ = d.EndARU(a)
+	committed, _ = d.ListBlocks(aru.Simple, lst)
+	fmt.Printf("after commit: %d blocks\n", len(committed))
+	// Output:
+	// committed view: 0 blocks, ARU's own view: 1 blocks
+	// after commit: 1 blocks
+}
+
+// ExampleDisk_AbortARU demonstrates the §3.3 abort semantics:
+// operations vanish, but identifiers allocated in the committed state
+// remain until the consistency sweep frees them.
+func ExampleDisk_AbortARU() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+	lst, _ := d.NewList(aru.Simple)
+
+	a, _ := d.BeginARU()
+	_, _ = d.NewBlock(a, lst, aru.NilBlock)
+	_ = d.AbortARU(a)
+
+	blocks, _ := d.ListBlocks(aru.Simple, lst)
+	freed, _ := d.CheckDisk()
+	fmt.Printf("visible blocks: %d, leaked allocations swept: %d\n", len(blocks), freed)
+	// Output:
+	// visible blocks: 0, leaked allocations swept: 1
+}
+
+// ExampleOpenReport shows crash recovery through the public API.
+func ExampleOpenReport() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+	lst, _ := d.NewList(aru.Simple)
+
+	// A durable unit, then an uncommitted one, then power loss.
+	a, _ := d.BeginARU()
+	_, _ = d.NewBlock(a, lst, aru.NilBlock)
+	_ = d.EndARU(a)
+	_ = d.Flush()
+	a2, _ := d.BeginARU()
+	_, _ = d.NewBlock(a2, lst, aru.NilBlock) // never committed
+	_ = d.Flush()                            // the allocation reaches disk; the unit does not
+
+	d2, rpt, err := aru.OpenReport(dev.Reopen(dev.Image()), aru.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks, _ := d2.ListBlocks(aru.Simple, lst)
+	fmt.Printf("recovered blocks: %d, ARUs recovered: %d, leaked freed: %d\n",
+		len(blocks), rpt.ARUsRecovered, rpt.LeakedFreed)
+	// Output:
+	// recovered blocks: 1, ARUs recovered: 1, leaked freed: 1
+}
+
+// ExampleTxnManager shows the transaction layer: isolation and
+// durability on top of an ARU.
+func ExampleTxnManager() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+	m := aru.NewTxnManager(d)
+
+	var acct aru.BlockID
+	err := m.Run(true /* durable */, func(tx *aru.Txn) error {
+		lst, err := tx.NewList()
+		if err != nil {
+			return err
+		}
+		acct, err = tx.NewBlock(lst, aru.NilBlock)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, d.BlockSize())
+		buf[0] = 42
+		return tx.Write(acct, buf)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, d.BlockSize())
+	_ = d.Read(aru.Simple, acct, buf)
+	fmt.Println("balance:", buf[0])
+	// Output:
+	// balance: 42
+}
+
+// ExampleMkFS shows the Minix-style file system client.
+func ExampleMkFS() {
+	layout := aru.DefaultLayout(16)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, _ := aru.Format(dev, aru.Params{Layout: layout})
+	fs, err := aru.MkFS(d, aru.FSConfig{NumInodes: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = fs.Mkdir("/docs")
+	f, _ := fs.Create("/docs/note")
+	_, _ = f.WriteAt([]byte("created atomically"), 0)
+	body, _ := f.ReadAll()
+	fmt.Printf("%s\n", body)
+	// Output:
+	// created atomically
+}

@@ -1,0 +1,72 @@
+package aru
+
+import (
+	"aru/internal/minixfs"
+)
+
+// FS is the bundled Minix-style file system client — the paper's
+// MinixLLD (§5.1). It runs entirely on the LD interface and brackets
+// file/directory creation and file deletion in ARUs, so it needs no
+// fsck after a crash. See aru/internal/minixfs.
+type FS = minixfs.FS
+
+// File is an open handle to a regular file.
+type File = minixfs.File
+
+// FSConfig parameterizes MkFS.
+type FSConfig = minixfs.Config
+
+// DeletePolicy selects how Remove de-allocates file data (the paper's
+// "new" versus "new, delete" builds).
+type DeletePolicy = minixfs.DeletePolicy
+
+// Deletion policies.
+const (
+	// DeleteBlocksFirst de-allocates block by block, then the list.
+	DeleteBlocksFirst = minixfs.DeleteBlocksFirst
+	// DeleteListFirst deletes the list outright (improved deletion).
+	DeleteListFirst = minixfs.DeleteListFirst
+)
+
+// FileMode distinguishes inode types.
+type FileMode = minixfs.Mode
+
+// File modes.
+const (
+	// ModeFile is a regular file.
+	ModeFile = minixfs.ModeFile
+	// ModeDir is a directory.
+	ModeDir = minixfs.ModeDir
+)
+
+// File system errors, re-exported for errors.Is tests.
+var (
+	ErrNotExist = minixfs.ErrNotExist
+	ErrExist    = minixfs.ErrExist
+	ErrNotDir   = minixfs.ErrNotDir
+	ErrIsDir    = minixfs.ErrIsDir
+	ErrNotEmpty = minixfs.ErrNotEmpty
+)
+
+// MkFS formats a Minix-style file system onto a freshly formatted
+// logical disk and returns it mounted.
+func MkFS(d *Disk, cfg FSConfig) (*FS, error) {
+	return minixfs.Mkfs(d, cfg)
+}
+
+// MountFS opens a file system previously created with MkFS on a
+// freshly formatted disk; the logical disk must already be recovered
+// via Open.
+func MountFS(d *Disk, policy DeletePolicy) (*FS, error) {
+	return minixfs.Mount(d, policy)
+}
+
+// (*FS).Link, (*FS).Rename etc. are methods on the re-exported FS type;
+// see aru/internal/minixfs for the full client API.
+//
+// MountFSAt opens the file system whose meta list is metaList — the
+// way to address one of several file systems sharing a single logical
+// disk (the multi-client arrangement of paper §2).
+func MountFSAt(d *Disk, policy DeletePolicy, metaList ListID) (*FS, error) {
+	return minixfs.MountAt(d, policy, metaList)
+}

@@ -1,0 +1,3 @@
+module aru
+
+go 1.22

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+
+	"aru/internal/seg"
+)
+
+// mode captures how one LD operation executes, per the paper's version
+// semantics (§3.3):
+//
+//   - simple operations run in the committed state and emit summary
+//     entries tagged with ARU 0 (committed immediately);
+//   - operations inside a concurrent ARU run in that ARU's shadow
+//     state; data writes emit entries tagged with the ARU, list
+//     operations emit nothing and are recorded in the list-operation
+//     log instead;
+//   - operations replayed at commit time — and all in-ARU operations of
+//     the sequential variant — run in the committed state, emit entries
+//     tagged with the ARU, and gate the records they touch so that the
+//     committed→persistent transition waits for the commit record.
+type mode struct {
+	view    ARUID     // state for lookups/mutations (SimpleARU = committed)
+	st      *aruState // non-nil: shadow-state execution for this ARU
+	tag     ARUID     // ARU tag on emitted summary entries
+	tracked *aruState // non-nil: gate touched committed records until commit
+}
+
+// modeFor resolves the execution mode of an operation issued under aru
+// (SimpleARU for a simple operation). The caller must hold d.mu.
+func (d *LLD) modeFor(aru ARUID) (mode, error) {
+	if aru == seg.SimpleARU {
+		return mode{view: seg.SimpleARU, tag: seg.SimpleARU}, nil
+	}
+	st, ok := d.arus[aru]
+	if !ok {
+		return mode{}, fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
+	}
+	if d.params.Variant == VariantOld {
+		return mode{view: seg.SimpleARU, tag: aru, tracked: st}, nil
+	}
+	return mode{view: aru, st: st, tag: aru}, nil
+}
+
+// viewID returns the state Reads under aru should resolve against.
+func (m mode) viewID() ARUID { return m.view }
+
+// touchBlock applies the commit-timestamp policy of the mode to a
+// committed record just modified at time ts. Shadow records are left
+// alone (their commit timestamp is assigned when they merge).
+func (m mode) touchBlock(cb *altBlock, ts uint64) {
+	if m.st != nil {
+		return
+	}
+	if m.tracked != nil {
+		if cb.commitTS != gateOpen {
+			m.tracked.touched = append(m.tracked.touched, cb)
+			cb.commitTS = gateOpen
+		}
+		return
+	}
+	cb.commitTS = ts
+}
+
+// touchList is the list analogue of touchBlock.
+func (m mode) touchList(cl *altList, ts uint64) {
+	if m.st != nil {
+		return
+	}
+	if m.tracked != nil {
+		if cl.commitTS != gateOpen {
+			m.tracked.touchedLists = append(m.tracked.touchedLists, cl)
+			cl.commitTS = gateOpen
+		}
+		return
+	}
+	cl.commitTS = ts
+}
+
+// BeginARU opens a new atomic recovery unit and returns its identifier.
+// On the sequential variant at most one ARU may be open at a time.
+func (d *LLD) BeginARU() (ARUID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if d.params.Variant == VariantOld && len(d.arus) != 0 {
+		return 0, ErrARUActive
+	}
+	id := d.nextARU
+	d.nextARU++
+	d.arus[id] = &aruState{id: id}
+	d.stats.ARUsBegun++
+	return id, nil
+}
+
+// EndARU commits an atomic recovery unit: every operation issued under
+// it becomes part of the committed state as one indivisible unit, and
+// will become persistent together once the commit record reaches disk.
+// EndARU provides atomicity, not durability: call Flush to force
+// persistence.
+func (d *LLD) EndARU(aru ARUID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	st, ok := d.arus[aru]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
+	}
+	if d.params.Variant == VariantOld {
+		return d.endARUOld(aru, st)
+	}
+	return d.endARUNew(aru, st)
+}
+
+// endARUOld commits a sequential-variant ARU: the operations already
+// executed in the committed state, so committing only logs the commit
+// record and releases the promotion gate.
+func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
+	if err := d.ensureRoom(0, 1); err != nil {
+		return err
+	}
+	cts := d.tick()
+	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
+	d.ungate(st, cts)
+	delete(d.arus, aru)
+	d.stats.ARUsCommitted++
+	d.maybeMaintain()
+	return nil
+}
+
+// endARUNew commits a concurrent-variant ARU (paper §4): shadow data
+// versions merge into the committed state, the list-operation log is
+// re-executed against the committed state (now emitting the real link
+// records), and finally the commit record is generated. All committed
+// records touched stay gated until the commit record is logged, so a
+// segment write in the middle of the merge can never promote a partial
+// commit.
+func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
+	gate := mode{view: seg.SimpleARU, tag: aru, tracked: st}
+
+	// Merge shadow block data into the committed state: the shadow
+	// version replaces the current committed version, which is
+	// discarded (paper §3.1). Structure fields (successor, list
+	// membership) are recomputed by the log replay below; only the
+	// contents move here. Data still in memory moves buffer-to-buffer
+	// (no log traffic at all); data already materialized hands over its
+	// physical location.
+	for ab := st.shadowBlocks; ab != nil; ab = ab.nextState {
+		if ab.deleted || !ab.hasContent() {
+			continue
+		}
+		if err := d.ensureRoom(1, 1); err != nil {
+			return err
+		}
+		cb, ok := d.writableBlock(ab.id, seg.SimpleARU, nil)
+		if !ok {
+			// The block vanished from the committed state (deleted by
+			// a racing client); the paper leaves such races to client
+			// locking. Drop the data.
+			d.stats.MergeFallbacks++
+			continue
+		}
+		if ab.data != nil {
+			buf := ab.data
+			ab.data = nil // shadow buffers are not counted; move directly
+			d.setBlockData(cb, buf, aru, true)
+		} else {
+			d.stashPrev(cb) // the inherited location supersedes a pending buffer
+			d.setBlockPhys(cb, ab.rec.Seg, ab.rec.Slot, aru)
+		}
+		cb.rec.TS = ab.rec.TS
+		gate.touchBlock(cb, 0)
+	}
+
+	// Re-execute the list-operation log in the committed state.
+	for _, op := range st.linkLog {
+		d.stats.ListOpsReplayed++
+		var err error
+		switch op.kind {
+		case opInsert:
+			err = d.insertIn(gate, op.list, op.block, op.pred, false)
+		case opDeleteBlock:
+			err = d.deleteBlockIn(gate, op.block, false)
+		case opDeleteList:
+			err = d.deleteListIn(gate, op.list, false)
+		case opUnlinkOnly:
+			rec, ok := d.viewBlock(op.block, seg.SimpleARU)
+			if !ok || rec.List == NilList {
+				d.stats.MergeFallbacks++
+			} else {
+				err = d.unlinkIn(gate, rec.List, op.block)
+			}
+		default:
+			err = fmt.Errorf("lld: unknown list-operation kind %d", op.kind)
+		}
+		if err != nil {
+			return fmt.Errorf("lld: replaying list-operation log of ARU %d: %w", aru, err)
+		}
+	}
+
+	// The commit record makes the whole unit take effect at recovery.
+	// It is queued and emitted at seal time, after any still-buffered
+	// data of this unit has materialized, so the unit can never be
+	// split across a segment boundary with its commit on the durable
+	// side and its data on the lost side.
+	if err := d.ensureRoom(0, 1); err != nil {
+		return err
+	}
+	cts := d.tick()
+	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
+	d.ungate(st, cts)
+	d.discardShadow(st)
+	delete(d.arus, aru)
+	d.stats.ARUsCommitted++
+	d.maybeMaintain()
+	return nil
+}
+
+// ungate assigns the commit timestamp to every committed record the ARU
+// touched, making them eligible for promotion once the commit record is
+// durable. Block records also take the commit timestamp as their write
+// time, matching what recovery reconstructs (buffered operations apply
+// at the commit record's timestamp).
+func (d *LLD) ungate(st *aruState, cts uint64) {
+	for _, cb := range st.touched {
+		cb.commitTS = cts
+		cb.wtag = seg.SimpleARU // future materialization is committed
+		// The stashed pre-unit version is no longer needed: this
+		// unit's commit record is queued and will share the next
+		// sealed segment with the overwriting data.
+		d.dropPrevData(cb)
+		if !cb.deleted {
+			cb.rec.TS = cts
+		}
+	}
+	for _, cl := range st.touchedLists {
+		cl.commitTS = cts
+	}
+	st.touched, st.touchedLists = nil, nil
+}
+
+// discardShadow drops every shadow record of the ARU, releasing pins.
+func (d *LLD) discardShadow(st *aruState) {
+	for ab := st.shadowBlocks; ab != nil; ab = ab.nextState {
+		e := d.blocks[ab.id]
+		d.dropAltBlock(e, ab)
+		if e.empty() {
+			delete(d.blocks, ab.id)
+		}
+	}
+	st.shadowBlocks = nil
+	for al := st.shadowLists; al != nil; al = al.nextState {
+		e := d.lists[al.id]
+		d.dropAltList(e, al)
+		if e.empty() {
+			delete(d.lists, al.id)
+		}
+	}
+	st.shadowLists = nil
+	st.linkLog = nil
+}
+
+// AbortARU discards an open ARU: its shadow state is dropped and none
+// of its operations ever reach the committed state. Identifiers it
+// allocated remain allocated (allocation always happens in the
+// committed state) until a consistency check frees them, exactly as for
+// an ARU interrupted by a crash (paper §3.3). The sequential variant
+// cannot abort, since it applies operations in place.
+func (d *LLD) AbortARU(aru ARUID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	st, ok := d.arus[aru]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
+	}
+	if d.params.Variant == VariantOld {
+		return ErrAbortUnsupported
+	}
+	ts := d.tick()
+	if err := d.appendEntry(seg.Entry{Kind: seg.KindAbort, ARU: aru, TS: ts}); err != nil {
+		return err
+	}
+	d.discardShadow(st)
+	delete(d.arus, aru)
+	d.stats.ARUsAborted++
+	return nil
+}
+
+// ActiveARUs returns the number of currently open ARUs.
+func (d *LLD) ActiveARUs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.arus)
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aru/internal/seg"
+)
+
+// CheckDisk runs the disk consistency check of paper §3.3: blocks that
+// were allocated inside an ARU that never committed remain allocated
+// (allocation always happens in the committed state) but sit on no
+// list; the check frees them. It returns the number of blocks freed.
+//
+// Blocks that an *open* ARU has allocated but not yet committed onto a
+// list are skipped, so CheckDisk is safe to run at any time. Open on a
+// recovered disk runs it automatically unless Params.NoAutoCheck is
+// set.
+func (d *LLD) CheckDisk() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.checkLocked()
+}
+
+func (d *LLD) checkLocked() (int, error) {
+	// Blocks an open ARU intends to insert are not leaked.
+	claimed := make(map[BlockID]bool)
+	for _, st := range d.arus {
+		for _, op := range st.linkLog {
+			if op.kind == opInsert {
+				claimed[op.block] = true
+			}
+		}
+		for ab := st.shadowBlocks; ab != nil; ab = ab.nextState {
+			claimed[ab.id] = true
+		}
+	}
+	var leaked []BlockID
+	for id := range d.blocks {
+		if claimed[id] {
+			continue
+		}
+		rec, ok := d.viewBlock(id, seg.SimpleARU)
+		if !ok {
+			continue // committed deletion pending promotion
+		}
+		if rec.List == NilList {
+			leaked = append(leaked, id)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
+	m := mode{view: seg.SimpleARU, tag: seg.SimpleARU}
+	for _, id := range leaked {
+		if err := d.deleteBlockIn(m, id, true); err != nil {
+			return 0, fmt.Errorf("lld: consistency sweep of block %d: %w", id, err)
+		}
+	}
+	d.stats.LeakedBlocksFreed += int64(len(leaked))
+	return len(leaked), nil
+}
+
+// FreeSegments returns the number of currently reusable log segments.
+func (d *LLD) FreeSegments() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reusableCount()
+}
+
+// ListBlocks returns the members of list lst, in order, as seen from
+// the state of aru (SimpleARU for the committed view).
+func (d *LLD) ListBlocks(aru ARUID, lst ListID) ([]BlockID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	m, err := d.modeFor(aru)
+	if err != nil {
+		return nil, err
+	}
+	lrec, ok := d.viewList(lst, m.viewID())
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchList, lst)
+	}
+	var out []BlockID
+	for cur := lrec.First; cur != NilBlock; {
+		out = append(out, cur)
+		crec, ok := d.viewBlock(cur, m.viewID())
+		if !ok {
+			return nil, fmt.Errorf("lld: list %d chain broken at block %d", lst, cur)
+		}
+		if len(out) > len(d.blocks)+1 {
+			return nil, fmt.Errorf("lld: list %d contains a cycle", lst)
+		}
+		cur = crec.Succ
+	}
+	return out, nil
+}
+
+// Lists returns the identifiers of all lists visible in the state of
+// aru, in ascending order.
+func (d *LLD) Lists(aru ARUID) ([]ListID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	m, err := d.modeFor(aru)
+	if err != nil {
+		return nil, err
+	}
+	var out []ListID
+	for id := range d.lists {
+		if _, ok := d.viewList(id, m.viewID()); ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// BlockInfo describes one block version for inspection.
+type BlockInfo struct {
+	ID      BlockID
+	List    ListID
+	Succ    BlockID
+	HasData bool
+	TS      uint64
+}
+
+// StatBlock returns the effective record of a block in the state of
+// aru.
+func (d *LLD) StatBlock(aru ARUID, b BlockID) (BlockInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return BlockInfo{}, ErrClosed
+	}
+	m, err := d.modeFor(aru)
+	if err != nil {
+		return BlockInfo{}, err
+	}
+	rec, ok := d.viewBlock(b, m.viewID())
+	if !ok {
+		return BlockInfo{}, fmt.Errorf("%w: %d", ErrNoSuchBlock, b)
+	}
+	return BlockInfo{ID: b, List: rec.List, Succ: rec.Succ, HasData: rec.HasData, TS: rec.TS}, nil
+}
+
+// VersionCount returns the number of live versions of block b across
+// all states (persistent + committed + one per ARU shadow). Exposed for
+// the n+2 bound invariant tests.
+func (d *LLD) VersionCount(b BlockID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.blocks[b]
+	if !ok {
+		return 0
+	}
+	return e.versions()
+}
+
+// VerifyInternal cross-checks in-memory invariants: list chains are
+// acyclic and well-terminated in every state, Last pointers are
+// correct, per-segment live counts match the block map, and pins are
+// non-negative. It is exported for tests and the fsck tool.
+func (d *LLD) VerifyInternal() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	views := []ARUID{seg.SimpleARU}
+	if d.params.Variant == VariantNew {
+		for id := range d.arus {
+			views = append(views, id)
+		}
+	}
+	for _, v := range views {
+		for id := range d.lists {
+			lrec, ok := d.viewList(id, v)
+			if !ok {
+				continue
+			}
+			var last BlockID
+			n := 0
+			for cur := lrec.First; cur != NilBlock; {
+				crec, ok := d.viewBlock(cur, v)
+				if !ok {
+					return fmt.Errorf("lld: verify: view %d list %d references missing block %d", v, id, cur)
+				}
+				if crec.List != id {
+					return fmt.Errorf("lld: verify: view %d block %d on list %d claims list %d", v, cur, id, crec.List)
+				}
+				last = cur
+				cur = crec.Succ
+				if n++; n > len(d.blocks)+1 {
+					return fmt.Errorf("lld: verify: view %d list %d has a cycle", v, id)
+				}
+			}
+			if lrec.Last != last {
+				return fmt.Errorf("lld: verify: view %d list %d Last=%d, chain ends at %d", v, id, lrec.Last, last)
+			}
+		}
+	}
+	live := make([]int32, d.params.Layout.NumSegs)
+	for _, e := range d.blocks {
+		if e.persist != nil && e.persist.HasData {
+			live[e.persist.Seg]++
+		}
+	}
+	for s := range live {
+		if live[s] != d.segLive[s] {
+			return fmt.Errorf("lld: verify: segment %d live count %d, block map says %d", s, d.segLive[s], live[s])
+		}
+		if d.segPins[s] < 0 {
+			return fmt.Errorf("lld: verify: segment %d has negative pin count %d", s, d.segPins[s])
+		}
+	}
+	return nil
+}
+
+// SegmentInfo describes one log segment's runtime accounting.
+type SegmentInfo struct {
+	Index    int
+	Seq      uint64 // log sequence number (0 = never written)
+	Live     int32  // live persistent blocks
+	Pins     int32  // alternative records holding data here
+	Current  bool   // the open segment being filled
+	Reusable bool
+}
+
+// Segments returns the runtime accounting of every log segment — the
+// utilization view the cleaner decides on.
+func (d *LLD) Segments() []SegmentInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]SegmentInfo, d.params.Layout.NumSegs)
+	for s := range out {
+		out[s] = SegmentInfo{
+			Index:    s,
+			Seq:      d.segSeq[s],
+			Live:     d.segLive[s],
+			Pins:     d.segPins[s],
+			Current:  s == d.curSeg,
+			Reusable: d.segReusable(s),
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aru/internal/seg"
+)
+
+// Clean runs the segment cleaner until at least target segments are
+// reusable (or no further progress is possible) and returns the number
+// of segments it reclaimed. Cleaning relocates live blocks of victim
+// segments to the head of the log, then checkpoints so the victims
+// become reusable. Cleaning requires that no ARU is open.
+func (d *LLD) Clean(target int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if len(d.arus) != 0 {
+		return 0, fmt.Errorf("%w: cannot clean with open ARUs", ErrARUActive)
+	}
+	return d.cleanLocked(target), nil
+}
+
+// cleanLocked is the cleaner body; callers hold d.mu and guarantee no
+// open ARUs (maybeMaintain checks). It never returns an error: cleaning
+// is best-effort and failures simply leave fewer free segments.
+func (d *LLD) cleanLocked(target int) int {
+	if d.inClean {
+		return 0
+	}
+	d.inClean = true
+	defer func() { d.inClean = false }()
+
+	const batch = 8 // victims relocated per flush/checkpoint cycle
+	cleaned := 0
+	for d.reusableCount() < target {
+		before := d.reusableCount()
+		visited := make(map[int]bool)
+		relocated := 0
+		for relocated < batch {
+			victim, ok := d.pickVictim(visited)
+			if !ok {
+				break
+			}
+			visited[victim] = true
+			if err := d.relocateSegment(victim); err != nil {
+				return cleaned
+			}
+			relocated++
+		}
+		if relocated == 0 {
+			break
+		}
+		// Flush so the relocations promote (dropping the victims' live
+		// counts), then checkpoint so the victims' old summary entries
+		// leave the replay window and the segments become reusable.
+		if err := d.flushLocked(); err != nil {
+			break
+		}
+		if err := d.checkpointLocked(); err != nil {
+			break
+		}
+		cleaned += relocated
+		d.stats.SegmentsCleaned += int64(relocated)
+		if d.reusableCount() <= before {
+			// No net space gained: the victims are so full that
+			// relocation consumes as much as it frees. Stop rather
+			// than ping-pong live data forever.
+			break
+		}
+	}
+	return cleaned
+}
+
+// cleanable reports whether segment s is a valid cleaning victim: an
+// old (checkpoint-covered), unpinned, written segment that still holds
+// live blocks, every one of which is relocatable (its persistent record
+// is the block's only version — relocating a block with pending shadow
+// or committed updates could resurrect stale data after a crash).
+func (d *LLD) cleanable(s int) (liveBlocks []BlockID, ok bool) {
+	if s == d.curSeg || d.segSeq[s] == 0 || d.segSeq[s] > d.ckptSeq {
+		return nil, false
+	}
+	if d.segPins[s] != 0 || d.segLive[s] == 0 {
+		return nil, false
+	}
+	for id, e := range d.blocks {
+		if e.persist == nil || !e.persist.HasData || e.persist.Seg != uint32(s) {
+			continue
+		}
+		if e.altHead != nil {
+			return nil, false
+		}
+		liveBlocks = append(liveBlocks, id)
+	}
+	return liveBlocks, len(liveBlocks) > 0
+}
+
+// pickVictim selects the next segment to clean according to the
+// configured policy, skipping segments already relocated this cycle.
+func (d *LLD) pickVictim(exclude map[int]bool) (int, bool) {
+	type cand struct {
+		s     int
+		live  int32
+		score float64
+	}
+	var cands []cand
+	for s := 0; s < d.params.Layout.NumSegs; s++ {
+		if exclude[s] || s == d.curSeg || d.segSeq[s] == 0 || d.segSeq[s] > d.ckptSeq ||
+			d.segPins[s] != 0 || d.segLive[s] == 0 {
+			continue
+		}
+		// Utilization and age for the cost-benefit policy.
+		u := float64(d.segLive[s]) / float64(d.params.Layout.BlocksPerSeg())
+		age := float64(d.nextSeq - d.segSeq[s])
+		score := (1 - u) * age / (1 + u)
+		cands = append(cands, cand{s: s, live: d.segLive[s], score: score})
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	switch d.params.CleanerPolicy {
+	case CleanCostBenefit:
+		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	default: // CleanGreedy
+		sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
+	}
+	// Take the best candidate whose blocks are all relocatable.
+	for _, c := range cands {
+		if _, ok := d.cleanable(c.s); ok {
+			return c.s, true
+		}
+	}
+	return 0, false
+}
+
+// relocateSegment copies every live block of segment s to the head of
+// the log as a fresh committed write. The logical contents of every
+// block and list are unchanged; only physical placement moves.
+func (d *LLD) relocateSegment(s int) error {
+	live, ok := d.cleanable(s)
+	if !ok {
+		return fmt.Errorf("lld: segment %d is not cleanable", s)
+	}
+	// Deterministic order keeps runs reproducible.
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	buf := make([]byte, d.params.Layout.BlockSize)
+	for _, id := range live {
+		e := d.blocks[id]
+		if e.persist == nil || !e.persist.HasData || e.persist.Seg != uint32(s) || e.altHead != nil {
+			continue // changed underneath us by an earlier relocation flush
+		}
+		if err := d.readPhys(e.persist.Seg, e.persist.Slot, buf); err != nil {
+			return err
+		}
+		ts := d.tick()
+		segIdx, slot, err := d.appendBlockWrite(seg.SimpleARU, ts, id, e.persist.List, buf)
+		if err != nil {
+			return err
+		}
+		cb, ok := d.writableBlock(id, seg.SimpleARU, nil)
+		if !ok {
+			return fmt.Errorf("%w: %d during relocation", ErrNoSuchBlock, id)
+		}
+		d.setBlockPhys(cb, segIdx, slot, seg.SimpleARU)
+		cb.rec.TS = ts
+		cb.commitTS = ts
+		d.stats.BlocksRelocated++
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"aru/internal/disk"
+)
+
+// fillDisk creates lists of written blocks until about frac of the log
+// segments have been consumed, returning the payload oracle.
+func fillDisk(t *testing.T, d *LLD, frac float64) map[BlockID]byte {
+	t.Helper()
+	oracle := make(map[BlockID]byte)
+	target := int64(float64(d.params.Layout.NumSegs) * frac)
+	i := 0
+	for d.Stats().SegmentsWritten < target {
+		lst, err := d.NewList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := NilBlock
+		for j := 0; j < 6; j++ {
+			b, err := d.NewBlock(0, lst, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pat := byte(37*i + j + 1)
+			if err := d.Write(0, b, fill(d, pat)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[b] = pat
+			pred = b
+		}
+		i++
+		if i%16 == 0 {
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return oracle
+}
+
+// deleteSome removes every second list's blocks, creating dead space.
+func deleteSome(t *testing.T, d *LLD, oracle map[BlockID]byte) {
+	t.Helper()
+	lists, err := d.Lists(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lists {
+		if i%2 != 0 {
+			continue
+		}
+		blocks, err := d.ListBlocks(0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DeleteList(0, l); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			delete(oracle, b)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// verifyOracle checks every surviving block's contents.
+func verifyOracle(t *testing.T, d *LLD, oracle map[BlockID]byte, when string) {
+	t.Helper()
+	buf := make([]byte, d.BlockSize())
+	for b, pat := range oracle {
+		if err := d.Read(0, b, buf); err != nil {
+			t.Fatalf("%s: block %d: %v", when, b, err)
+		}
+		if !bytes.Equal(buf, fill(d, pat)) {
+			t.Fatalf("%s: block %d holds %#x, want %#x", when, b, buf[0], pat)
+		}
+	}
+}
+
+func TestCleanerReclaimsAndPreserves(t *testing.T) {
+	for _, pol := range []CleanerPolicy{CleanGreedy, CleanCostBenefit} {
+		t.Run(fmt.Sprint(pol), func(t *testing.T) {
+			p := Params{Layout: testLayout(64), CleanerPolicy: pol}
+			dev := disk.NewMem(p.Layout.DiskBytes())
+			d, err := Format(dev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := fillDisk(t, d, 0.6)
+			deleteSome(t, d, oracle)
+			if err := d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+
+			relocBefore := d.Stats().BlocksRelocated
+			cleaned, err := d.Clean(p.Layout.NumSegs - 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cleaned == 0 {
+				t.Fatalf("cleaner reclaimed nothing despite half-dead segments")
+			}
+			if d.Stats().BlocksRelocated == relocBefore {
+				t.Fatalf("cleaner freed segments without relocating anything?")
+			}
+			verifyOracle(t, d, oracle, "after cleaning")
+			if err := d.VerifyInternal(); err != nil {
+				t.Fatal(err)
+			}
+
+			// And the moved data must survive recovery.
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := Open(dev, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyOracle(t, d2, oracle, "after cleaning + reopen")
+			if err := d2.VerifyInternal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCleanerRunsAutomatically fills and churns a small disk well past
+// its raw capacity; automatic cleaning must keep it usable.
+func TestCleanerRunsAutomatically(t *testing.T) {
+	p := Params{Layout: testLayout(48), CheckpointEvery: 8, CleanerLowWater: 6}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each round writes ~2 segments of fresh data and then deletes
+	// most — but not all — of the previous round, leaving every old
+	// segment partially live. Reclaiming that space requires actual
+	// relocation, not just reuse of fully-dead segments.
+	type round struct {
+		blocks []BlockID
+		pat    byte
+	}
+	var prev *round
+	var survivors []round
+	for r := 0; r < 60; r++ {
+		lst, err := d.NewList(0)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		cur := &round{pat: byte(r + 1)}
+		pred := NilBlock
+		for j := 0; j < 12; j++ {
+			b, err := d.NewBlock(0, lst, pred)
+			if err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			if err := d.Write(0, b, fill(d, cur.pat)); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			cur.blocks = append(cur.blocks, b)
+			pred = b
+		}
+		if prev != nil {
+			// Keep the first two blocks of the previous round alive.
+			for _, b := range prev.blocks[2:] {
+				if err := d.DeleteBlock(0, b); err != nil {
+					t.Fatalf("round %d: delete: %v", r, err)
+				}
+			}
+			survivors = append(survivors, round{blocks: prev.blocks[:2], pat: prev.pat})
+		}
+		prev = cur
+		if err := d.Flush(); err != nil {
+			t.Fatalf("round %d: flush: %v", r, err)
+		}
+	}
+	if d.Stats().SegmentsCleaned == 0 {
+		t.Fatalf("automatic cleaning never ran (wrote %d segments on a %d-segment disk)",
+			d.Stats().SegmentsWritten, p.Layout.NumSegs)
+	}
+	buf := make([]byte, d.BlockSize())
+	for _, s := range survivors {
+		for _, b := range s.blocks {
+			if err := d.Read(0, b, buf); err != nil {
+				t.Fatalf("survivor %d: %v", b, err)
+			}
+			if buf[0] != s.pat {
+				t.Fatalf("survivor %d holds %#x, want %#x", b, buf[0], s.pat)
+			}
+		}
+	}
+	if err := d.VerifyInternal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoSpace verifies the documented failure mode when the log truly
+// fills with live data.
+func TestNoSpace(t *testing.T) {
+	p := Params{Layout: testLayout(12), CleanerLowWater: 2, CleanerTargetFree: 3}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := d.NewList(0)
+	pred := NilBlock
+	var firstErr error
+	for i := 0; i < 12*8; i++ {
+		b, err := d.NewBlock(0, lst, pred)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if err := d.Write(0, b, fill(d, byte(i))); err != nil {
+			firstErr = err
+			break
+		}
+		pred = b
+	}
+	if !errors.Is(firstErr, ErrNoSpace) {
+		t.Fatalf("filling the disk with live data: %v, want ErrNoSpace", firstErr)
+	}
+}
+
+// TestCleanerEquivalence: cleaning must never change the visible state.
+func TestCleanerEquivalence(t *testing.T) {
+	p := Params{Layout: testLayout(64)}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := fillDisk(t, d, 0.5)
+	deleteSome(t, d, oracle)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, d)
+	if _, err := d.Clean(48); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot(t, d)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("cleaning changed the logical state")
+	}
+}

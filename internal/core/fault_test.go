@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aru/internal/disk"
+)
+
+// TestTransientWriteErrorRetry: an injected transient device error
+// fails the Flush, but the sealed-but-unwritten segment stays in the
+// builder and a retry succeeds with nothing lost.
+func TestTransientWriteErrorRetry(t *testing.T) {
+	p := Params{Layout: testLayout(48)}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := d.NewList(0)
+	b, _ := d.NewBlock(0, lst, NilBlock)
+	if err := d.Write(0, b, fill(d, 0x66)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail exactly the next device write (the segment of the flush).
+	writes := dev.Stats().Writes
+	dev.SetFaultPlan(disk.FaultPlan{WriteErrorEvery: writes + 1})
+	err = d.Flush()
+	if !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("flush with injected fault: %v", err)
+	}
+	dev.SetFaultPlan(disk.FaultPlan{})
+	if err := d.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	buf := make([]byte, d.BlockSize())
+	if err := d.Read(0, b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x66 {
+		t.Fatalf("data lost across transient error: %#x", buf[0])
+	}
+	// And the state is recoverable.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dev, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Read(0, b, buf); err != nil || buf[0] != 0x66 {
+		t.Fatalf("recovery after transient error: %v %#x", err, buf[0])
+	}
+}
+
+// TestWriteFailureDuringEndARU: if the device dies while EndARU needs a
+// seal, the error surfaces and the engine refuses further use only of
+// the dead device, without corrupting in-memory invariants.
+func TestWriteFailureDuringEndARU(t *testing.T) {
+	p := Params{Layout: testLayout(48)}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := d.NewList(0)
+
+	// Open an ARU big enough that its merge forces a seal (segments
+	// hold ~6 one-KB blocks in the test layout).
+	a, _ := d.BeginARU()
+	for i := 0; i < 20; i++ {
+		b, err := d.NewBlock(a, lst, NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(a, b, fill(d, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Crash()
+	if err := d.EndARU(a); err == nil {
+		// The commit may have fit without a seal; the flush must fail
+		// instead.
+		if ferr := d.Flush(); ferr == nil {
+			t.Fatal("no error surfaced from a dead device")
+		}
+	}
+	if err := d.VerifyInternal(); err != nil {
+		t.Fatalf("invariants after device death: %v", err)
+	}
+}
+
+// TestRecoveryFromDeadDeviceFails: Open on a crashed device reports the
+// failure instead of hanging or panicking.
+func TestRecoveryFromDeadDeviceFails(t *testing.T) {
+	p := Params{Layout: testLayout(32)}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	if _, err := Format(dev, p); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	if _, err := Open(dev, Params{}); !errors.Is(err, disk.ErrCrashed) {
+		t.Fatalf("open on dead device: %v", err)
+	}
+}
+
+// TestFormatOnTooSmallDevice covers the size validation.
+func TestFormatOnTooSmallDevice(t *testing.T) {
+	p := Params{Layout: testLayout(32)}
+	dev := disk.NewMem(p.Layout.DiskBytes() / 2)
+	if _, err := Format(dev, p); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("format on undersized device: %v", err)
+	}
+}
+
+// TestOpenWithoutSuperblock covers mounting garbage.
+func TestOpenWithoutSuperblock(t *testing.T) {
+	dev := disk.NewMem(1 << 20)
+	if _, err := Open(dev, Params{}); err == nil {
+		t.Fatal("opened an unformatted device")
+	}
+}
+
+// TestRecoveryNeverPanicsOnCorruptImages flips random bits anywhere in
+// a valid post-crash image; recovery must always either succeed (if the
+// flip hit dead space or was caught by checksums) or fail cleanly —
+// never panic, never violate internal invariants when it does succeed.
+func TestRecoveryNeverPanicsOnCorruptImages(t *testing.T) {
+	layout := testLayout(96)
+	dev := disk.NewMem(layout.DiskBytes())
+	d, err := Format(dev, Params{Layout: layout, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := d.NewList(0)
+	for i := 0; i < 30; i++ {
+		a, _ := d.BeginARU()
+		b, err := d.NewBlock(a, lst, NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(a, b, fill(d, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EndARU(a); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 6 {
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	img := dev.Image()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		corrupt := append([]byte(nil), img...)
+		flips := rng.Intn(8) + 1
+		for f := 0; f < flips; f++ {
+			bit := rng.Intn(len(corrupt) * 8)
+			corrupt[bit/8] ^= 1 << (bit % 8)
+		}
+		d2, err := Open(disk.NewMem(layout.DiskBytes()).Reopen(corrupt), Params{})
+		if err != nil {
+			continue // clean refusal is fine
+		}
+		if err := d2.VerifyInternal(); err != nil {
+			t.Fatalf("trial %d: recovery accepted a corrupt image with broken invariants: %v", trial, err)
+		}
+	}
+}
+
+// TestFullDiskStillMountsAndFrees: a disk filled to the growth reserve
+// still mounts, reads, deletes (freeing space through the reserve) and
+// then accepts new data again.
+func TestFullDiskStillMountsAndFrees(t *testing.T) {
+	p := Params{Layout: testLayout(16), CleanerLowWater: 1, CleanerTargetFree: 2}
+	dev := disk.NewMem(p.Layout.DiskBytes())
+	d, err := Format(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill until the growth reserve refuses more data.
+	var lists []ListID
+	var blocks []BlockID
+fill:
+	for {
+		lst, err := d.NewList(0)
+		if err != nil {
+			break
+		}
+		lists = append(lists, lst)
+		for j := 0; j < 6; j++ {
+			b, err := d.NewBlock(0, lst, NilBlock)
+			if err != nil {
+				break fill
+			}
+			if err := d.Write(0, b, fill(d, byte(j+1))); err != nil {
+				break fill
+			}
+			blocks = append(blocks, b)
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(blocks) == 0 {
+		t.Fatal("nothing written before the reserve hit")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount the (nearly) full disk: reads work.
+	d2, err := Open(dev, Params{CleanerLowWater: 1, CleanerTargetFree: 2})
+	if err != nil {
+		t.Fatalf("full disk failed to mount: %v", err)
+	}
+	buf := make([]byte, d2.BlockSize())
+	if err := d2.Read(0, blocks[0], buf); err != nil {
+		t.Fatalf("read on full disk: %v", err)
+	}
+	// Growth is refused…
+	if _, err := d2.NewList(0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("growth on full disk: %v", err)
+	}
+	// …but deletes go through the reserve and free space.
+	for _, l := range lists[:len(lists)/2] {
+		if err := d2.DeleteList(0, l); err != nil {
+			t.Fatalf("delete on full disk: %v", err)
+		}
+	}
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after frees: %v", err)
+	}
+	// Growth works again.
+	lst, err := d2.NewList(0)
+	if err != nil {
+		t.Fatalf("growth after freeing: %v", err)
+	}
+	b, err := d2.NewBlock(0, lst, NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Write(0, b, fill(d2, 0x99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.VerifyInternal(); err != nil {
+		t.Fatal(err)
+	}
+}

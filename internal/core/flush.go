@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"aru/internal/seg"
+)
+
+// Flush writes the current partial segment to disk and syncs the
+// device, making every committed operation persistent (the
+// committed→persistent transition of paper §3.1). Shadow state of open
+// ARUs stays in memory (and in already-written segments, where it is
+// inert until its commit record lands).
+func (d *LLD) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.flushLocked()
+}
+
+func (d *LLD) flushLocked() error {
+	if err := d.writeCurSeg(); err != nil {
+		return err
+	}
+	if err := d.dev.Sync(); err != nil {
+		return fmt.Errorf("lld: sync: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint flushes and then writes a snapshot of the persistent
+// tables into the next checkpoint region, bounding recovery time and
+// making older zero-live segments reusable. Checkpoints cannot be taken
+// while ARUs are open: a checkpoint would cut their already-logged
+// entries out of the replay window.
+func (d *LLD) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.flushLocked(); err != nil {
+		return err
+	}
+	return d.checkpointLocked()
+}
+
+func (d *LLD) checkpointLocked() error {
+	if len(d.arus) != 0 {
+		return fmt.Errorf("%w: cannot checkpoint with %d open ARUs", ErrARUActive, len(d.arus))
+	}
+	// The tables must reflect exactly the flushed log: write out any
+	// partial segment and sync before the checkpoint claims FlushedSeq.
+	// With no open ARUs every committed record has then been promoted,
+	// so the persistent tables are the complete state.
+	if err := d.writeCurSeg(); err != nil {
+		return err
+	}
+	if err := d.dev.Sync(); err != nil {
+		return fmt.Errorf("lld: sync before checkpoint: %w", err)
+	}
+	ck := seg.Checkpoint{
+		CkptTS:     d.ckptTS + 1,
+		FlushedSeq: d.nextSeq - 1,
+		NextTS:     d.ts,
+		NextBlock:  d.nextBlk,
+		NextList:   d.nextLst,
+		NextARU:    d.nextARU,
+		Blocks:     make([]seg.BlockRec, 0, len(d.blocks)),
+		Lists:      make([]seg.ListRec, 0, len(d.lists)),
+	}
+	for id, e := range d.blocks {
+		if e.persist == nil {
+			return fmt.Errorf("lld: internal: block %d has no persistent version at checkpoint", id)
+		}
+		ck.Blocks = append(ck.Blocks, *e.persist)
+	}
+	for id, e := range d.lists {
+		if e.persist == nil {
+			return fmt.Errorf("lld: internal: list %d has no persistent version at checkpoint", id)
+		}
+		ck.Lists = append(ck.Lists, *e.persist)
+	}
+	ck.SortTables()
+	buf, err := seg.EncodeCheckpoint(d.params.Layout, ck)
+	if err != nil {
+		return fmt.Errorf("lld: encoding checkpoint: %w", err)
+	}
+	if err := d.dev.WriteAt(buf, d.params.Layout.CkptOff(d.ckptSlot)); err != nil {
+		return fmt.Errorf("lld: writing checkpoint: %w", err)
+	}
+	if err := d.dev.Sync(); err != nil {
+		return fmt.Errorf("lld: sync after checkpoint: %w", err)
+	}
+	d.ckptSlot = 1 - d.ckptSlot
+	d.ckptTS = ck.CkptTS
+	d.ckptSeq = ck.FlushedSeq
+	d.segsSinceC = 0
+	d.stats.Checkpoints++
+	return nil
+}
+
+// Close flushes, checkpoints if possible (no open ARUs), and marks the
+// instance unusable. Open ARUs are discarded, exactly as a crash would
+// discard them.
+func (d *LLD) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	var err error
+	if len(d.arus) == 0 {
+		if ferr := d.flushLocked(); ferr != nil {
+			err = ferr
+		} else if cerr := d.checkpointLocked(); cerr != nil {
+			err = cerr
+		}
+	} else {
+		err = d.flushLocked()
+	}
+	d.closed = true
+	return err
+}
+
+// Stats returns a snapshot of the operation counters.
+func (d *LLD) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Params returns the configuration the instance runs with (layout as
+// read from the superblock for opened disks).
+func (d *LLD) Params() Params {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.params
+}
+
+// BlockSize returns the logical block size in bytes.
+func (d *LLD) BlockSize() int { return d.params.Layout.BlockSize }

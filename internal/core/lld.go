@@ -1,0 +1,273 @@
+// Package core implements LLD, the log-structured Logical Disk, with
+// concurrent atomic recovery units (ARUs) — the contribution of
+// "Atomic Recovery Units: Failure Atomicity for Logical Disks"
+// (Grimm, Hsieh, Kaashoek, de Jonge; ICDCS 1996).
+//
+// # Model
+//
+// The Logical Disk presents disk storage as logical blocks arranged
+// into ordered lists. Clients allocate blocks within lists
+// (NewBlock), write and read them (Write/Read), and de-allocate blocks
+// and lists (DeleteBlock/DeleteList). Flush forces all committed state
+// to stable storage.
+//
+// An atomic recovery unit brackets several of these operations between
+// BeginARU and EndARU; after a failure either all or none of them are
+// persistent. ARUs provide failure atomicity only: no isolation (each
+// ARU sees its own shadow state, per the paper's third read-semantics
+// option) and no durability (EndARU does not flush).
+//
+// Every block and list exists in up to n+2 versions for n active ARUs:
+// one shadow version per ARU that touched it, one committed version,
+// and one persistent version. Version lookup always searches shadow →
+// committed → persistent. Allocation (NewBlock/NewList) is the single
+// exception: identifiers are handed out in the committed state even
+// inside an ARU, so concurrent ARUs can never allocate the same
+// identifier; only the insertion into a list is shadowed.
+//
+// # Concurrency
+//
+// All exported methods are safe for concurrent use. As in the paper,
+// the disk system performs no concurrency control between clients:
+// two ARUs may update the same block and the commit order decides.
+// Clients that need isolation must lock above the LD interface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// Re-exported identifier types; the on-disk format package owns them.
+type (
+	// BlockID names a logical disk block.
+	BlockID = seg.BlockID
+	// ListID names a logical block list.
+	ListID = seg.ListID
+	// ARUID names an atomic recovery unit.
+	ARUID = seg.ARUID
+)
+
+// Nil identifiers.
+const (
+	NilBlock = seg.NilBlock
+	NilList  = seg.NilList
+)
+
+// Variant selects which LLD build the engine behaves as, mirroring
+// Table 1 of the paper.
+type Variant int
+
+const (
+	// VariantNew is the paper's prototype: concurrent ARUs with
+	// per-ARU shadow states and a list-operation log replayed at
+	// commit.
+	VariantNew Variant = iota
+	// VariantOld is the original 1993 LLD: ARUs are sequential (at
+	// most one open at a time) and operations inside an ARU execute
+	// directly in the committed state — no shadow records, no
+	// list-operation log, no commit-time replay. Recovery atomicity
+	// still holds because summary entries are tagged with the ARU.
+	VariantOld
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantNew:
+		return "new"
+	case VariantOld:
+		return "old"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// CleanerPolicy selects how the segment cleaner picks victims.
+type CleanerPolicy int
+
+const (
+	// CleanGreedy picks the segments with the fewest live blocks.
+	CleanGreedy CleanerPolicy = iota
+	// CleanCostBenefit weighs freed space against copying cost and
+	// segment age, as in Sprite LFS.
+	CleanCostBenefit
+)
+
+// Params configures an LLD instance. The zero value of optional fields
+// selects documented defaults.
+type Params struct {
+	// Layout is the disk format geometry (required; see seg.Layout).
+	Layout seg.Layout
+	// Variant selects the concurrent-ARU prototype (default) or the
+	// sequential-ARU baseline.
+	Variant Variant
+	// CheckpointEvery writes a table checkpoint after this many
+	// segment writes (default 32; negative disables automatic
+	// checkpoints).
+	CheckpointEvery int
+	// CleanerLowWater triggers cleaning when the number of reusable
+	// segments drops below it (default 8).
+	CleanerLowWater int
+	// CleanerTargetFree is how many reusable segments cleaning tries
+	// to reach (default 2×CleanerLowWater).
+	CleanerTargetFree int
+	// CleanerPolicy selects the victim policy (default CleanGreedy).
+	CleanerPolicy CleanerPolicy
+	// CacheBlocks is the read-cache capacity in blocks (default 1024;
+	// negative disables the cache).
+	CacheBlocks int
+	// GrowthReserve refuses growth operations (Write, NewBlock,
+	// NewList) with ErrNoSpace while fewer than this many reusable
+	// segments remain beyond the open one (default 1; negative
+	// disables). The reserve guarantees de-allocations can still log —
+	// and therefore free space — on an otherwise full disk.
+	GrowthReserve int
+	// ReadSemantics selects which of the paper's three Read-visibility
+	// options (§3.3) Read provides (default ReadOwnShadow, the
+	// prototype's choice). It affects Read only; structure lookups
+	// (ListBlocks, StatBlock) always resolve through the issuing
+	// stream's own state.
+	ReadSemantics ReadSemantics
+	// AutoCheck disables the automatic post-recovery consistency
+	// sweep (which frees blocks leaked by uncommitted ARUs) when set
+	// to false via NoAutoCheck.
+	NoAutoCheck bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.CheckpointEvery == 0 {
+		p.CheckpointEvery = 32
+	}
+	if p.CleanerLowWater == 0 {
+		p.CleanerLowWater = 8
+	}
+	if p.CleanerTargetFree == 0 {
+		p.CleanerTargetFree = 2 * p.CleanerLowWater
+	}
+	if p.CacheBlocks == 0 {
+		p.CacheBlocks = 1024
+	}
+	if p.GrowthReserve == 0 {
+		p.GrowthReserve = 1
+	}
+	return p
+}
+
+// Errors returned by the LD interface.
+var (
+	// ErrNoSuchBlock reports an operation on an unallocated block.
+	ErrNoSuchBlock = errors.New("lld: no such block")
+	// ErrNoSuchList reports an operation on an unallocated list.
+	ErrNoSuchList = errors.New("lld: no such list")
+	// ErrNoSuchARU reports an operation naming an unknown or already
+	// ended ARU.
+	ErrNoSuchARU = errors.New("lld: no such ARU")
+	// ErrARUActive reports a second BeginARU on the sequential-ARU
+	// variant while one is already open.
+	ErrARUActive = errors.New("lld: an ARU is already active (sequential variant)")
+	// ErrNotMember reports a list operation whose block is not a
+	// member of the named list (in the operating view).
+	ErrNotMember = errors.New("lld: block is not a member of the list")
+	// ErrNoSpace reports that the log is out of reusable segments and
+	// cleaning could not free any.
+	ErrNoSpace = errors.New("lld: out of disk space")
+	// ErrAbortUnsupported reports AbortARU on the sequential variant,
+	// which applies operations in place and cannot roll back.
+	ErrAbortUnsupported = errors.New("lld: AbortARU is not supported by the sequential variant")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("lld: closed")
+	// ErrBadParam reports invalid arguments.
+	ErrBadParam = errors.New("lld: bad parameter")
+)
+
+// Stats holds operation counters for one LLD instance.
+type Stats struct {
+	Reads, Writes              int64 // block reads / writes
+	CoalescedWrites            int64 // writes absorbed in place in the open segment
+	NewBlocks, DeleteBlocks    int64
+	NewLists, DeleteLists      int64
+	ARUsBegun, ARUsCommitted   int64
+	ARUsAborted                int64
+	SegmentsWritten            int64 // segments written to disk
+	SegmentsCleaned            int64 // segments reclaimed by the cleaner
+	BlocksRelocated            int64 // live blocks copied by the cleaner
+	Checkpoints                int64
+	MergeFallbacks             int64 // commit-replay inserts whose predecessor vanished
+	LeakedBlocksFreed          int64 // blocks freed by the consistency sweep
+	ShadowRecords, AltRecords  int64 // current alternative-record counts (shadow / all)
+	ShadowCreated              int64 // shadow records ever created
+	CommittedCreated           int64 // committed alternative records ever created
+	RecordsPromoted            int64 // committed→persistent transitions
+	BlocksMaterialized         int64 // buffered versions written into segments at seal
+	PrevVersionsEmitted        int64 // stashed pre-unit versions written at seal
+	ListOpsReplayed            int64 // list-operation log records re-executed at commit
+	MovesExecuted              int64 // MoveBlock operations
+	CacheHits, CacheMisses     int64
+	PredecessorSearchSteps     int64 // total steps of predecessor searches
+	EntriesLogged              int64 // summary entries appended
+	RecoveredEntries           int64 // summary entries replayed at recovery
+	RecoveredARUs, DroppedARUs int64 // committed / discarded ARUs at recovery
+}
+
+// LLD is a log-structured logical disk with atomic recovery units.
+// Create instances with Format (fresh disk) or Open (recovery).
+type LLD struct {
+	params Params
+	dev    disk.Disk
+
+	mu sync.Mutex
+	// Everything below is guarded by mu.
+	closed bool
+	stats  Stats
+
+	ts      uint64 // logical clock: timestamp of the next operation
+	nextBlk BlockID
+	nextLst ListID
+	nextARU ARUID
+
+	// Persistent state (the paper's block-number-map and list-table),
+	// plus the roots of the per-identifier alternative-record chains.
+	blocks map[BlockID]*blockEntry
+	lists  map[ListID]*listEntry
+
+	// Committed state: the single merged stream's alternative records.
+	commBlocks *altBlock // same-state chain, unordered
+	commLists  *altList
+
+	// Active ARUs (shadow states).
+	arus map[ARUID]*aruState
+
+	// Log state.
+	builder *seg.Builder
+	// commBufBlocks counts committed-state versions whose contents are
+	// still in memory; they materialize into the open segment at seal
+	// time and therefore reserve capacity in it.
+	commBufBlocks int
+	// pendingCommits holds the commit records of ended ARUs, in commit
+	// order. They are emitted at seal time, after all buffered data
+	// has materialized, so a unit's data and its commit record always
+	// land in the same (atomic) segment: commits within one open-
+	// segment window persist as a group, which is exactly the
+	// granularity at which anything persists.
+	pendingCommits []seg.Entry
+	curSeg         int    // segment index the builder will be written to
+	nextSeq        uint64 // seq for the next sealed segment
+	durableTS      uint64 // all entries with TS <= durableTS are on disk
+	ckptSeq        uint64 // FlushedSeq of the newest durable checkpoint
+	ckptTS         uint64 // CkptTS of the newest durable checkpoint
+	ckptSlot       int    // region (0/1) the next checkpoint goes to
+	segsSinceC     int    // segments written since the last checkpoint
+
+	// Per-segment accounting.
+	segSeq    []uint64 // trailer seq per segment (0 = never written)
+	segLive   []int32  // live persistent blocks per segment
+	segPins   []int32  // alternative records holding data in the segment
+	freeCache int      // reusable-segment count, refreshed at seals
+	inClean   bool     // reentrancy guard for the cleaner
+	cache     *blockCache
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"aru/internal/seg"
+)
+
+// tick returns the next logical timestamp. Every logged operation gets
+// a distinct, strictly increasing timestamp; the stream of blocks is
+// order-preserving and "this order ... is determined by the time of an
+// operation" (paper §3.1).
+func (d *LLD) tick() uint64 {
+	t := d.ts
+	d.ts++
+	return t
+}
+
+// ensureRoom makes sure the open segment can still absorb extraBlocks
+// data blocks and extraEntries summary entries on top of everything
+// already accumulated — including the committed-state buffers that will
+// materialize into it at seal time (one block and one entry each).
+// When the segment cannot, it is sealed and written out.
+func (d *LLD) ensureRoom(extraBlocks, extraEntries int) error {
+	if d.curSeg < 0 {
+		// Mounted on a full disk: the open segment is picked lazily,
+		// so a disk that only needs reading mounts fine.
+		next, err := d.pickSeg()
+		if err != nil {
+			return err
+		}
+		d.curSeg = next
+		d.freeCache = d.reusableCount()
+	}
+	entryBytes := extraEntries*seg.MaxEntrySize +
+		d.commBufBlocks*seg.EncodedSize(seg.KindWrite) +
+		len(d.pendingCommits)*seg.EncodedSize(seg.KindCommit)
+	if d.builder.FitsBytes(extraBlocks+d.commBufBlocks, entryBytes) {
+		return nil
+	}
+	return d.writeCurSeg()
+}
+
+// growthAllowed reports whether growth operations may proceed: at least
+// GrowthReserve reusable segments must remain beyond the open one, so
+// de-allocations always have log space left to free the disk with.
+func (d *LLD) growthAllowed() bool {
+	if d.params.GrowthReserve < 0 {
+		return true
+	}
+	return d.freeCache >= d.params.GrowthReserve
+}
+
+// appendEntry appends one summary entry to the current segment, writing
+// the segment out first if the entry does not fit.
+func (d *LLD) appendEntry(e seg.Entry) error {
+	if err := d.ensureRoom(0, 1); err != nil {
+		return err
+	}
+	d.builder.AddEntry(e)
+	d.stats.EntriesLogged++
+	return nil
+}
+
+// appendBlockWrite appends one block of data plus its write entry to
+// the current segment (as a unit, so the entry always describes a slot
+// of the same segment). It returns the physical location. Used by the
+// cleaner; client writes go through in-memory buffers instead.
+func (d *LLD) appendBlockWrite(aru ARUID, ts uint64, id BlockID, lst ListID, data []byte) (segIdx, slot uint32, err error) {
+	if err := d.ensureRoom(1, 1); err != nil {
+		return 0, 0, err
+	}
+	slot = d.builder.AddBlock(data)
+	d.builder.AddEntry(seg.Entry{
+		Kind:  seg.KindWrite,
+		ARU:   aru,
+		TS:    ts,
+		Block: id,
+		List:  lst,
+		Slot:  slot,
+	})
+	d.stats.EntriesLogged++
+	return uint32(d.curSeg), slot, nil
+}
+
+// materializeCommitted moves every buffered committed-state version
+// into the open segment, emitting its write entry. Versions belonging
+// to a unit whose commit record is not yet logged keep their ARU tag,
+// so recovery still treats the unit atomically; everything else is
+// emitted on the merged stream (tag 0) at the record's current
+// timestamp. Capacity is guaranteed by ensureRoom's accounting.
+func (d *LLD) materializeCommitted() {
+	type item struct {
+		ab   *altBlock
+		data []byte
+		ts   uint64
+		tag  ARUID
+		prev bool
+	}
+	var pending []item
+	for ab := d.commBlocks; ab != nil; ab = ab.nextState {
+		if ab.prevData != nil {
+			// The stashed pre-unit version: the version an open unit
+			// overwrote while its own commit record is still pending.
+			// It is emitted on the merged stream so that, should only
+			// this segment survive, the earlier unit stays complete.
+			pending = append(pending, item{ab: ab, data: ab.prevData, ts: ab.prevTS, prev: true})
+		}
+		if ab.data != nil {
+			tag := seg.SimpleARU
+			if ab.commitTS == gateOpen {
+				tag = ab.wtag
+			}
+			pending = append(pending, item{ab: ab, data: ab.data, ts: ab.rec.TS, tag: tag})
+		}
+	}
+	// Write in logical-time order so blocks written together lie
+	// together on disk — the stream of blocks is order-preserving
+	// (paper §3.1), and sequential re-reads stay sequential.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ts < pending[j].ts })
+	for _, it := range pending {
+		slot := d.builder.AddBlock(it.data)
+		d.builder.AddEntry(seg.Entry{
+			Kind:  seg.KindWrite,
+			ARU:   it.tag,
+			TS:    it.ts,
+			Block: it.ab.id,
+			Slot:  slot,
+		})
+		d.stats.EntriesLogged++
+		d.stats.BlocksMaterialized++
+		if d.cache != nil {
+			// The data is in hand; future reads of the new location
+			// must not pay a disk access for contents we just wrote.
+			d.cache.put(uint32(d.curSeg), slot, it.data)
+		}
+		if it.prev {
+			d.stats.PrevVersionsEmitted++
+			d.dropPrevData(it.ab)
+		} else {
+			d.setBlockPhys(it.ab, uint32(d.curSeg), slot, it.tag)
+		}
+	}
+}
+
+// lastTS returns the timestamp that will be durable once the current
+// segment is written: the logical clock has already advanced past every
+// logged operation.
+func (d *LLD) lastTS() uint64 {
+	if d.ts == 0 {
+		return 0
+	}
+	return d.ts - 1
+}
+
+// writeCurSeg seals the current segment, writes it to disk, promotes
+// committed state covered by the new durable watermark, and opens the
+// next segment. A no-op when the builder is empty.
+func (d *LLD) writeCurSeg() error {
+	d.materializeCommitted()
+	for _, e := range d.pendingCommits {
+		d.builder.AddEntry(e)
+		d.stats.EntriesLogged++
+	}
+	d.pendingCommits = d.pendingCommits[:0]
+	if d.builder.Empty() {
+		return nil
+	}
+	img := d.builder.Seal(d.nextSeq)
+	if err := d.dev.WriteAt(img, d.params.Layout.SegOff(d.curSeg)); err != nil {
+		return fmt.Errorf("lld: writing segment %d: %w", d.curSeg, err)
+	}
+	d.segSeq[d.curSeg] = d.nextSeq
+	d.nextSeq++
+	d.stats.SegmentsWritten++
+	d.segsSinceC++
+	d.durableTS = d.lastTS()
+	d.promote()
+	d.builder.Reset()
+	next, err := d.pickSeg()
+	if err != nil {
+		return err
+	}
+	d.curSeg = next
+	d.freeCache = d.reusableCount()
+	d.maybeMaintain()
+	d.freeCache = d.reusableCount()
+	return nil
+}
+
+// maybeMaintain runs background maintenance after a segment write:
+// automatic checkpoints and the cleaner. Both are skipped while an ARU
+// is open (a checkpoint taken with an open ARU could strand its earlier
+// log entries outside the replay window) and while the cleaner itself
+// is running.
+func (d *LLD) maybeMaintain() {
+	if d.inClean || len(d.arus) != 0 {
+		return
+	}
+	if d.params.CheckpointEvery > 0 && d.segsSinceC >= d.params.CheckpointEvery {
+		if err := d.checkpointLocked(); err != nil {
+			return // non-fatal: retried after the next segment write
+		}
+	}
+	if d.reusableCount() < d.params.CleanerLowWater {
+		d.cleanLocked(d.params.CleanerTargetFree)
+	}
+}
+
+// segReusable reports whether segment s may be (re)written: it is not
+// the current segment, holds no live persistent blocks, is not pinned
+// by alternative records, and — if it was ever written — lies at or
+// below the checkpoint watermark (so its summary entries are already
+// subsumed by the checkpoint tables and recovery will not miss them).
+func (d *LLD) segReusable(s int) bool {
+	if s == d.curSeg {
+		return false
+	}
+	if d.segPins[s] != 0 || d.segLive[s] != 0 {
+		return false
+	}
+	return d.segSeq[s] == 0 || d.segSeq[s] <= d.ckptSeq
+}
+
+// reusableCount counts reusable segments.
+func (d *LLD) reusableCount() int {
+	n := 0
+	for s := 0; s < d.params.Layout.NumSegs; s++ {
+		if d.segReusable(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// pickSeg selects the next segment to fill: never-written segments
+// first, then the oldest reusable one. Reusing a previously written
+// segment drops any cached blocks of its old contents.
+func (d *LLD) pickSeg() (int, error) {
+	best, bestSeq := -1, ^uint64(0)
+	for s := 0; s < d.params.Layout.NumSegs; s++ {
+		if !d.segReusable(s) {
+			continue
+		}
+		if d.segSeq[s] == 0 {
+			return s, nil
+		}
+		if d.segSeq[s] < bestSeq {
+			best, bestSeq = s, d.segSeq[s]
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoSpace
+	}
+	if d.cache != nil {
+		d.cache.purgeSeg(uint32(best))
+	}
+	return best, nil
+}
+
+// promote moves every committed record whose commit timestamp is now
+// durable into the persistent state (the committed→persistent
+// transition of paper §3.1, triggered by writes to disk).
+func (d *LLD) promote() {
+	w := d.durableTS
+	var keepB *altBlock
+	for ab := d.commBlocks; ab != nil; {
+		next := ab.nextState
+		if ab.commitTS <= w && ab.data == nil {
+			d.promoteBlock(ab)
+		} else {
+			ab.nextState = keepB
+			keepB = ab
+		}
+		ab = next
+	}
+	d.commBlocks = keepB
+
+	var keepL *altList
+	for al := d.commLists; al != nil; {
+		next := al.nextState
+		if al.commitTS <= w {
+			d.promoteList(al)
+		} else {
+			al.nextState = keepL
+			keepL = al
+		}
+		al = next
+	}
+	d.commLists = keepL
+}
+
+// promoteBlock installs ab as the persistent version of its block (or
+// removes the persistent version if ab is a deletion) and retires ab.
+func (d *LLD) promoteBlock(ab *altBlock) {
+	d.stats.RecordsPromoted++
+	e := d.blocks[ab.id]
+	if e.persist != nil && e.persist.HasData {
+		d.segLive[e.persist.Seg]--
+	}
+	if ab.deleted {
+		e.persist = nil
+	} else {
+		rec := ab.rec
+		e.persist = &rec
+		if rec.HasData {
+			d.segLive[rec.Seg]++
+		}
+	}
+	d.dropAltBlock(e, ab)
+	if e.empty() {
+		delete(d.blocks, ab.id)
+	}
+}
+
+// promoteList installs al as the persistent version of its list.
+func (d *LLD) promoteList(al *altList) {
+	d.stats.RecordsPromoted++
+	e := d.lists[al.id]
+	if al.deleted {
+		e.persist = nil
+	} else {
+		rec := al.rec
+		e.persist = &rec
+	}
+	d.dropAltList(e, al)
+	if e.empty() {
+		delete(d.lists, al.id)
+	}
+}
+
+// readPhys reads the block stored at (segIdx, slot) into dst: from the
+// in-memory segment under construction if the location is current,
+// otherwise from disk through the read cache.
+func (d *LLD) readPhys(segIdx, slot uint32, dst []byte) error {
+	if int(segIdx) == d.curSeg {
+		copy(dst, d.builder.BlockData(slot))
+		return nil
+	}
+	if d.cache != nil {
+		if d.cache.get(segIdx, slot, dst) {
+			d.stats.CacheHits++
+			return nil
+		}
+		d.stats.CacheMisses++
+	}
+	bs := int64(d.params.Layout.BlockSize)
+	off := d.params.Layout.SegOff(int(segIdx)) + int64(slot)*bs
+	if err := d.dev.ReadAt(dst, off); err != nil {
+		return fmt.Errorf("lld: reading block at seg %d slot %d: %w", segIdx, slot, err)
+	}
+	if d.cache != nil {
+		d.cache.put(segIdx, slot, dst)
+	}
+	return nil
+}
+
+// physKey identifies a cached block by physical location.
+type physKey struct {
+	seg, slot uint32
+}
+
+// blockCache is a small LRU cache of persistent block contents.
+type blockCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEnt
+	byKey map[physKey]*list.Element
+}
+
+type cacheEnt struct {
+	key  physKey
+	data []byte
+}
+
+func newBlockCache(capBlocks int) *blockCache {
+	if capBlocks <= 0 {
+		return nil
+	}
+	return &blockCache{
+		cap:   capBlocks,
+		order: list.New(),
+		byKey: make(map[physKey]*list.Element, capBlocks),
+	}
+}
+
+func (c *blockCache) get(segIdx, slot uint32, dst []byte) bool {
+	el, ok := c.byKey[physKey{segIdx, slot}]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(el)
+	copy(dst, el.Value.(*cacheEnt).data)
+	return true
+}
+
+func (c *blockCache) put(segIdx, slot uint32, data []byte) {
+	k := physKey{segIdx, slot}
+	if el, ok := c.byKey[k]; ok {
+		copy(el.Value.(*cacheEnt).data, data)
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		last := c.order.Back()
+		delete(c.byKey, last.Value.(*cacheEnt).key)
+		c.order.Remove(last)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.byKey[k] = c.order.PushFront(&cacheEnt{key: k, data: cp})
+}
+
+// purgeSeg drops all cached blocks of one segment (called when the
+// segment is about to be rewritten with new contents).
+func (c *blockCache) purgeSeg(segIdx uint32) {
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEnt)
+		if ent.key.seg == segIdx {
+			delete(c.byKey, ent.key)
+			c.order.Remove(el)
+		}
+		el = next
+	}
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"math"
+
+	"aru/internal/seg"
+)
+
+// gateOpen marks a committed record touched by a still-open
+// sequential-variant ARU: it must not be promoted to the persistent
+// state until that ARU commits and assigns the real commit timestamp.
+const gateOpen = uint64(math.MaxUint64)
+
+// altBlock is an alternative block record: one shadow or committed
+// version of a block. Records are members of two perpendicular
+// singly-linked chains (paper §4, Figure 4): the same-state chain (all
+// records of one ARU's shadow state, or of the committed state) and
+// the same-identifier chain rooted at the block's blockEntry.
+type altBlock struct {
+	id  BlockID
+	aru ARUID // owner state: SimpleARU = committed, else shadow of aru
+
+	rec     seg.BlockRec // the alternative version of the record
+	deleted bool         // block is de-allocated in this version
+
+	// data holds the version's contents while it lives only in memory
+	// (rec.HasData is false then). Versions written inside the current
+	// stream replace each other in memory (paper §3.1: the newer
+	// version of a class replaces the older, which is discarded) and
+	// are materialized into the open segment — with a correctly tagged
+	// summary entry — only when the segment is sealed. nil means the
+	// contents are at rec.Seg/rec.Slot (if rec.HasData) or all-zero.
+	data []byte
+
+	// wtag is the ARU whose write produced data; it tags the summary
+	// entry when the buffer is materialized while that ARU's commit
+	// record is not yet logged (commitTS == gateOpen), so recovery
+	// applies the version only together with the rest of the unit.
+	wtag ARUID
+
+	// prevData stashes the previous (committed-pending) contents when a
+	// gated write overwrites a committed record whose own commit record
+	// has not been sealed yet. Should a seal capture the earlier unit's
+	// commit while the gating unit is still open, prevData is emitted
+	// on the merged stream so the earlier unit stays complete. It is
+	// dropped as soon as the gating unit commits (both commits then
+	// share the next sealed segment) or when the buffer materializes.
+	prevData []byte
+	prevTS   uint64
+
+	// commitTS orders the committed→persistent transition: the record
+	// may be promoted once commitTS <= durableTS. Shadow records have
+	// commitTS 0 (meaningless until merged); records gated by an open
+	// ARU (sequential-variant operations, or a concurrent commit in
+	// progress) use gateOpen.
+	commitTS uint64
+
+	nextState *altBlock // same-state chain
+	nextID    *altBlock // same-identifier chain
+}
+
+// hasContent reports whether the version carries block contents, in
+// memory or in the log.
+func (ab *altBlock) hasContent() bool { return ab.data != nil || ab.rec.HasData }
+
+// altList is the list analogue of altBlock.
+type altList struct {
+	id  ListID
+	aru ARUID
+
+	rec     seg.ListRec
+	deleted bool
+
+	commitTS uint64
+
+	nextState *altList
+	nextID    *altList
+}
+
+// blockEntry roots all versions of one block: the persistent record
+// (from the block-number-map) plus the same-identifier chain of
+// alternative records. An entry exists while any version exists.
+type blockEntry struct {
+	persist *seg.BlockRec // nil if the block has no persistent version
+	altHead *altBlock
+}
+
+// listEntry roots all versions of one list.
+type listEntry struct {
+	persist *seg.ListRec
+	altHead *altList
+}
+
+// opKind discriminates list-operation log records.
+type opKind uint8
+
+const (
+	// opInsert logs "insert block into list after pred" (NilBlock pred
+	// inserts at the head). Logged by NewBlock inside an ARU.
+	opInsert opKind = iota + 1
+	// opDeleteBlock logs "remove block from list and de-allocate it".
+	opDeleteBlock
+	// opDeleteList logs "de-allocate list and every remaining member".
+	opDeleteList
+	// opUnlinkOnly logs "remove block from its list without
+	// de-allocating it" (the first half of MoveBlock).
+	opUnlinkOnly
+)
+
+// listOp is one record of an ARU's in-memory list-operation log. Ops
+// are executed in the shadow state when issued (without emitting
+// summary entries) and re-executed in the committed state at commit,
+// where the real link records are generated (paper §4).
+type listOp struct {
+	kind  opKind
+	list  ListID
+	block BlockID
+	pred  BlockID
+}
+
+// aruState is the in-memory state of one open ARU: the heads of its
+// shadow-state chains and its list-operation log. For the sequential
+// variant the shadow chains stay empty and touched/touchedLists gate
+// the committed records the ARU has modified in place.
+type aruState struct {
+	id ARUID
+
+	shadowBlocks *altBlock
+	shadowLists  *altList
+	linkLog      []listOp
+
+	// Sequential-variant bookkeeping: committed records modified by
+	// this ARU, whose promotion is gated until EndARU.
+	touched      []*altBlock
+	touchedLists []*altList
+}
+
+// findAlt returns the alternative block record owned by state aru on
+// the same-identifier chain of e, or nil.
+func (e *blockEntry) findAlt(aru ARUID) *altBlock {
+	for ab := e.altHead; ab != nil; ab = ab.nextID {
+		if ab.aru == aru {
+			return ab
+		}
+	}
+	return nil
+}
+
+// findAlt returns the alternative list record owned by state aru.
+func (e *listEntry) findAlt(aru ARUID) *altList {
+	for al := e.altHead; al != nil; al = al.nextID {
+		if al.aru == aru {
+			return al
+		}
+	}
+	return nil
+}
+
+// removeAlt unlinks ab from the same-identifier chain of e.
+func (e *blockEntry) removeAlt(ab *altBlock) {
+	if e.altHead == ab {
+		e.altHead = ab.nextID
+		return
+	}
+	for p := e.altHead; p != nil; p = p.nextID {
+		if p.nextID == ab {
+			p.nextID = ab.nextID
+			return
+		}
+	}
+}
+
+// removeAlt unlinks al from the same-identifier chain of e.
+func (e *listEntry) removeAlt(al *altList) {
+	if e.altHead == al {
+		e.altHead = al.nextID
+		return
+	}
+	for p := e.altHead; p != nil; p = p.nextID {
+		if p.nextID == al {
+			p.nextID = al.nextID
+			return
+		}
+	}
+}
+
+// versions returns the number of live versions of the block (for the
+// n+2 bound invariant).
+func (e *blockEntry) versions() int {
+	n := 0
+	if e.persist != nil {
+		n++
+	}
+	for ab := e.altHead; ab != nil; ab = ab.nextID {
+		n++
+	}
+	return n
+}
+
+// empty reports whether the entry roots no version at all and can be
+// dropped from the table.
+func (e *blockEntry) empty() bool { return e.persist == nil && e.altHead == nil }
+
+func (e *listEntry) empty() bool { return e.persist == nil && e.altHead == nil }
+
+// viewBlock resolves the effective record of a block as seen from the
+// given state: the ARU's shadow version if one exists, else the
+// committed version, else the persistent version (paper §3.3). The
+// second result is false if the block does not exist in that view
+// (never allocated, or deleted in the nearest version).
+//
+// Callers must hold d.mu.
+func (d *LLD) viewBlock(id BlockID, aru ARUID) (seg.BlockRec, bool) {
+	e, ok := d.blocks[id]
+	if !ok {
+		return seg.BlockRec{}, false
+	}
+	if aru != seg.SimpleARU {
+		if ab := e.findAlt(aru); ab != nil {
+			if ab.deleted {
+				return seg.BlockRec{}, false
+			}
+			return ab.rec, true
+		}
+	}
+	if ab := e.findAlt(seg.SimpleARU); ab != nil {
+		if ab.deleted {
+			return seg.BlockRec{}, false
+		}
+		return ab.rec, true
+	}
+	if e.persist != nil {
+		return *e.persist, true
+	}
+	return seg.BlockRec{}, false
+}
+
+// viewList is the list analogue of viewBlock.
+func (d *LLD) viewList(id ListID, aru ARUID) (seg.ListRec, bool) {
+	e, ok := d.lists[id]
+	if !ok {
+		return seg.ListRec{}, false
+	}
+	if aru != seg.SimpleARU {
+		if al := e.findAlt(aru); al != nil {
+			if al.deleted {
+				return seg.ListRec{}, false
+			}
+			return al.rec, true
+		}
+	}
+	if al := e.findAlt(seg.SimpleARU); al != nil {
+		if al.deleted {
+			return seg.ListRec{}, false
+		}
+		return al.rec, true
+	}
+	if e.persist != nil {
+		return *e.persist, true
+	}
+	return seg.ListRec{}, false
+}
+
+// writableBlock returns the alternative block record that operations of
+// state aru should modify, creating it as a copy of the next version in
+// the search order if needed (the paper's "standardized search": the
+// modified copy of the committed or persistent version becomes the new
+// shadow version). It reports false if the block does not exist in the
+// view. For aru == SimpleARU the returned record belongs to the
+// committed state.
+//
+// Callers must hold d.mu. st is nil for committed-state access.
+func (d *LLD) writableBlock(id BlockID, aru ARUID, st *aruState) (*altBlock, bool) {
+	e, ok := d.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	if aru != seg.SimpleARU {
+		if ab := e.findAlt(aru); ab != nil {
+			if ab.deleted {
+				return nil, false
+			}
+			return ab, true
+		}
+	}
+	// Fall through to the committed version.
+	if ab := e.findAlt(seg.SimpleARU); ab != nil {
+		if ab.deleted {
+			return nil, false
+		}
+		if aru == seg.SimpleARU {
+			return ab, true
+		}
+		return d.newShadowBlock(e, st, ab.rec, ab.data), true
+	}
+	if e.persist == nil {
+		return nil, false
+	}
+	if aru == seg.SimpleARU {
+		return d.newCommBlock(e, id, *e.persist), true
+	}
+	return d.newShadowBlock(e, st, *e.persist, nil), true
+}
+
+// writableList is the list analogue of writableBlock.
+func (d *LLD) writableList(id ListID, aru ARUID, st *aruState) (*altList, bool) {
+	e, ok := d.lists[id]
+	if !ok {
+		return nil, false
+	}
+	if aru != seg.SimpleARU {
+		if al := e.findAlt(aru); al != nil {
+			if al.deleted {
+				return nil, false
+			}
+			return al, true
+		}
+	}
+	if al := e.findAlt(seg.SimpleARU); al != nil {
+		if al.deleted {
+			return nil, false
+		}
+		if aru == seg.SimpleARU {
+			return al, true
+		}
+		return d.newShadowList(e, st, al.rec), true
+	}
+	if e.persist == nil {
+		return nil, false
+	}
+	if aru == seg.SimpleARU {
+		return d.newCommList(e, id, *e.persist), true
+	}
+	return d.newShadowList(e, st, *e.persist), true
+}
+
+// newShadowBlock creates a shadow copy of the source version — record
+// fields plus, when the source's contents still live in memory, a
+// snapshot of its buffer (a copied record must carry the copied
+// version's *contents*, not just its structure) — and links it into the
+// ARU's same-state chain and the block's same-ID chain.
+func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data []byte) *altBlock {
+	ab := &altBlock{id: rec.ID, aru: st.id, rec: rec}
+	if data != nil {
+		ab.data = append([]byte(nil), data...)
+	}
+	if rec.HasData {
+		d.pinSeg(rec.Seg)
+	}
+	ab.nextState = st.shadowBlocks
+	st.shadowBlocks = ab
+	ab.nextID = e.altHead
+	e.altHead = ab
+	d.stats.ShadowRecords++
+	d.stats.AltRecords++
+	d.stats.ShadowCreated++
+	return ab
+}
+
+// newShadowList creates a shadow copy of rec for the ARU st.
+func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altList {
+	al := &altList{id: rec.ID, aru: st.id, rec: rec}
+	al.nextState = st.shadowLists
+	st.shadowLists = al
+	al.nextID = e.altHead
+	e.altHead = al
+	d.stats.ShadowRecords++
+	d.stats.AltRecords++
+	d.stats.ShadowCreated++
+	return al
+}
+
+// newCommBlock creates a committed alternative record for block id with
+// contents rec and links it into the committed chains.
+func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBlock {
+	ab := &altBlock{id: id, aru: seg.SimpleARU, rec: rec}
+	if rec.HasData {
+		d.pinSeg(rec.Seg)
+	}
+	ab.nextState = d.commBlocks
+	d.commBlocks = ab
+	ab.nextID = e.altHead
+	e.altHead = ab
+	d.stats.AltRecords++
+	d.stats.CommittedCreated++
+	return ab
+}
+
+// newCommList creates a committed alternative record for list id.
+func (d *LLD) newCommList(e *listEntry, id ListID, rec seg.ListRec) *altList {
+	al := &altList{id: id, aru: seg.SimpleARU, rec: rec}
+	al.nextState = d.commLists
+	d.commLists = al
+	al.nextID = e.altHead
+	e.altHead = al
+	d.stats.AltRecords++
+	d.stats.CommittedCreated++
+	return al
+}
+
+// setBlockPhys points ab's record at a new physical location, dropping
+// any in-memory buffer and keeping the per-segment pin counts balanced.
+func (d *LLD) setBlockPhys(ab *altBlock, segIdx, slot uint32, tag ARUID) {
+	d.dropBlockData(ab)
+	if ab.rec.HasData {
+		d.unpinSeg(ab.rec.Seg)
+	}
+	ab.rec.Seg = segIdx
+	ab.rec.Slot = slot
+	ab.rec.HasData = true
+	ab.wtag = tag
+	d.pinSeg(segIdx)
+}
+
+// stashPrev preserves ab's current ungated buffer as the pre-unit
+// version before a gated operation (one whose commit record is not yet
+// logged) overwrites or deletes it. The earlier version's commit may
+// already be pending, and its data must stay recoverable until both
+// commits can be sealed together. A previously stashed version is
+// superseded: its commit and the current buffer's commit belong to the
+// same pending batch and will flush in one atomic segment.
+//
+// The buffer's capacity slot transfers from data to prevData, so the
+// committed-buffer accounting is unchanged.
+func (d *LLD) stashPrev(ab *altBlock) {
+	if ab.aru != seg.SimpleARU || ab.data == nil || ab.commitTS == gateOpen {
+		return
+	}
+	if ab.prevData != nil {
+		d.commBufBlocks-- // the superseded stash frees its slot
+	}
+	ab.prevData = ab.data
+	ab.prevTS = ab.rec.TS
+	ab.data = nil
+}
+
+// setBlockData installs buf (owned by the callee afterwards) as ab's
+// in-memory contents, written under entry tag tag, releasing any older
+// location. Committed-state buffers count against the open segment's
+// capacity (they materialize into it at seal time). With gating true
+// the previous ungated version is stashed first (see stashPrev).
+func (d *LLD) setBlockData(ab *altBlock, buf []byte, tag ARUID, gating bool) {
+	if gating {
+		d.stashPrev(ab)
+	}
+	if ab.data == nil && ab.aru == seg.SimpleARU {
+		d.commBufBlocks++
+	}
+	if ab.rec.HasData {
+		d.unpinSeg(ab.rec.Seg)
+		ab.rec.HasData = false
+	}
+	ab.data = buf
+	ab.wtag = tag
+}
+
+// dropBlockData discards ab's in-memory buffer, if any.
+func (d *LLD) dropBlockData(ab *altBlock) {
+	if ab.data == nil {
+		return
+	}
+	ab.data = nil
+	if ab.aru == seg.SimpleARU {
+		d.commBufBlocks--
+	}
+}
+
+// dropPrevData discards ab's stashed pre-unit version, if any.
+func (d *LLD) dropPrevData(ab *altBlock) {
+	if ab.prevData == nil {
+		return
+	}
+	ab.prevData = nil
+	if ab.aru == seg.SimpleARU {
+		d.commBufBlocks--
+	}
+}
+
+// dropAltBlock releases ab's buffer and pin and removes it from the
+// same-ID chain of e. The caller is responsible for the same-state
+// chain.
+func (d *LLD) dropAltBlock(e *blockEntry, ab *altBlock) {
+	d.dropBlockData(ab)
+	d.dropPrevData(ab)
+	if ab.rec.HasData {
+		d.unpinSeg(ab.rec.Seg)
+	}
+	e.removeAlt(ab)
+	d.stats.AltRecords--
+	if ab.aru != seg.SimpleARU {
+		d.stats.ShadowRecords--
+	}
+}
+
+// dropAltList removes al from the same-ID chain of e.
+func (d *LLD) dropAltList(e *listEntry, al *altList) {
+	e.removeAlt(al)
+	d.stats.AltRecords--
+	if al.aru != seg.SimpleARU {
+		d.stats.ShadowRecords--
+	}
+}
+
+func (d *LLD) pinSeg(s uint32)   { d.segPins[s]++ }
+func (d *LLD) unpinSeg(s uint32) { d.segPins[s]-- }

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// Format initializes dev with the layout in p and returns a fresh LLD.
+// It writes the superblock and an empty initial checkpoint; existing
+// contents are ignored.
+func Format(dev disk.Disk, p Params) (*LLD, error) {
+	p = p.withDefaults()
+	if err := p.Layout.Validate(); err != nil {
+		return nil, fmt.Errorf("lld: %w", err)
+	}
+	if need := p.Layout.DiskBytes(); dev.Size() < need {
+		return nil, fmt.Errorf("%w: layout needs %d bytes, device has %d", ErrBadParam, need, dev.Size())
+	}
+	if err := dev.WriteAt(seg.EncodeSuper(p.Layout), p.Layout.SuperOff()); err != nil {
+		return nil, fmt.Errorf("lld: writing superblock: %w", err)
+	}
+	ck := seg.Checkpoint{CkptTS: 1, NextTS: 1, NextBlock: 1, NextList: 1, NextARU: 1}
+	buf, err := seg.EncodeCheckpoint(p.Layout, ck)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.WriteAt(buf, p.Layout.CkptOff(0)); err != nil {
+		return nil, fmt.Errorf("lld: writing initial checkpoint: %w", err)
+	}
+	// Invalidate region 1 so a stale checkpoint from a previous format
+	// cannot win.
+	empty := make([]byte, seg.SectorSize)
+	if err := dev.WriteAt(empty, p.Layout.CkptOff(1)); err != nil {
+		return nil, fmt.Errorf("lld: clearing checkpoint region: %w", err)
+	}
+	// Wipe every segment trailer so images reused across formats do not
+	// carry valid-looking segments from a previous lifetime into the
+	// replay window.
+	wipe := make([]byte, seg.SectorSize)
+	for s := 0; s < p.Layout.NumSegs; s++ {
+		off := p.Layout.SegOff(s) + int64(p.Layout.SegBytes) - seg.SectorSize
+		if err := dev.WriteAt(wipe, off); err != nil {
+			return nil, fmt.Errorf("lld: wiping segment %d trailer: %w", s, err)
+		}
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	return Open(dev, p)
+}
+
+// RecoveryReport summarizes what Open reconstructed.
+type RecoveryReport struct {
+	CheckpointTS     uint64 // CkptTS of the checkpoint recovery started from
+	SegmentsReplayed int    // valid segments beyond the checkpoint
+	EntriesReplayed  int
+	ARUsRecovered    int // ARUs whose commit record was durable
+	ARUsDropped      int // uncommitted/aborted ARUs discarded
+	LeakedFreed      int // blocks freed by the consistency sweep
+}
+
+// Open mounts an LLD-formatted device, running crash recovery: it loads
+// the newest valid checkpoint, replays the segment summaries beyond it
+// (applying only operations whose ARU committed — all-or-nothing per
+// ARU), and frees blocks leaked by uncommitted ARUs. Runtime knobs are
+// taken from p; the layout always comes from the superblock.
+func Open(dev disk.Disk, p Params) (*LLD, error) {
+	d, _, err := OpenReport(dev, p)
+	return d, err
+}
+
+// OpenReport is Open plus a report of what recovery did.
+func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
+	p = p.withDefaults()
+	sb := make([]byte, seg.SectorSize)
+	if err := dev.ReadAt(sb, 0); err != nil {
+		return nil, RecoveryReport{}, fmt.Errorf("lld: reading superblock: %w", err)
+	}
+	layout, err := seg.DecodeSuper(sb)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	p.Layout = layout
+
+	d := &LLD{
+		params:  p,
+		dev:     dev,
+		blocks:  make(map[BlockID]*blockEntry),
+		lists:   make(map[ListID]*listEntry),
+		arus:    make(map[ARUID]*aruState),
+		builder: seg.NewBuilder(layout),
+		segSeq:  make([]uint64, layout.NumSegs),
+		segLive: make([]int32, layout.NumSegs),
+		segPins: make([]int32, layout.NumSegs),
+		cache:   newBlockCache(p.CacheBlocks),
+	}
+
+	ck, slot, err := loadNewestCheckpoint(dev, layout)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	d.ckptTS = ck.CkptTS
+	d.ckptSeq = ck.FlushedSeq
+	d.ckptSlot = 1 - slot // next checkpoint goes to the other region
+	d.ts = ck.NextTS
+	d.nextBlk = ck.NextBlock
+	d.nextLst = ck.NextList
+	d.nextARU = ck.NextARU
+
+	rt := newRecoveryTables(ck)
+	rpt := RecoveryReport{CheckpointTS: ck.CkptTS}
+
+	// Scan all segment trailers; replay valid segments beyond the
+	// checkpoint in log (Seq) order.
+	type liveSeg struct {
+		idx int
+		tr  seg.Trailer
+	}
+	var replay []liveSeg
+	maxSeq := ck.FlushedSeq
+	trBuf := make([]byte, seg.SectorSize)
+	for s := 0; s < layout.NumSegs; s++ {
+		off := layout.SegOff(s) + int64(layout.SegBytes) - seg.SectorSize
+		if err := dev.ReadAt(trBuf, off); err != nil {
+			return nil, RecoveryReport{}, fmt.Errorf("lld: reading trailer of segment %d: %w", s, err)
+		}
+		tr, err := seg.DecodeTrailer(trBuf)
+		if err != nil {
+			continue // never written, wiped, or torn: not part of the log
+		}
+		d.segSeq[s] = tr.Seq
+		if tr.Seq > maxSeq {
+			maxSeq = tr.Seq
+		}
+		if tr.Seq > ck.FlushedSeq {
+			replay = append(replay, liveSeg{idx: s, tr: tr})
+		}
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].tr.Seq < replay[j].tr.Seq })
+
+	segBuf := make([]byte, layout.SegBytes)
+	for _, ls := range replay {
+		if err := dev.ReadAt(segBuf, layout.SegOff(ls.idx)); err != nil {
+			return nil, RecoveryReport{}, fmt.Errorf("lld: reading segment %d: %w", ls.idx, err)
+		}
+		entries, err := seg.DecodeEntriesFromSegment(segBuf, ls.tr)
+		if err != nil {
+			// A valid trailer with a corrupt entry region means the
+			// medium failed underneath us (a torn write cannot produce
+			// this). Stop replaying here; later segments would be
+			// causally disconnected.
+			break
+		}
+		for _, e := range entries {
+			rt.apply(e, uint32(ls.idx))
+			rpt.EntriesReplayed++
+		}
+		if ls.tr.Seq > maxSeq {
+			maxSeq = ls.tr.Seq
+		}
+	}
+	rpt.SegmentsReplayed = len(replay)
+	rpt.ARUsRecovered = rt.committed
+	rpt.ARUsDropped = len(rt.pending)
+	d.stats.RecoveredEntries = int64(rpt.EntriesReplayed)
+	d.stats.RecoveredARUs = int64(rpt.ARUsRecovered)
+	d.stats.DroppedARUs = int64(rpt.ARUsDropped)
+
+	// Install reconstructed tables.
+	for id, rec := range rt.blocks {
+		r := *rec
+		d.blocks[id] = &blockEntry{persist: &r}
+		if r.HasData {
+			d.segLive[r.Seg]++
+		}
+		if id >= d.nextBlk {
+			d.nextBlk = id + 1
+		}
+	}
+	for id, rec := range rt.lists {
+		r := *rec
+		d.lists[id] = &listEntry{persist: &r}
+		if id >= d.nextLst {
+			d.nextLst = id + 1
+		}
+	}
+	if rt.maxTS >= d.ts {
+		d.ts = rt.maxTS + 1
+	}
+	if rt.maxARU >= d.nextARU {
+		d.nextARU = rt.maxARU + 1
+	}
+	d.nextSeq = maxSeq + 1
+	d.durableTS = d.ts - 1
+
+	// Pick the open segment now if one is available; a completely full
+	// disk still mounts (for reading and deleting) and defers the pick
+	// to the first operation that needs log space.
+	if cur, err := d.pickSeg(); err == nil {
+		d.curSeg = cur
+	} else if errors.Is(err, ErrNoSpace) {
+		d.curSeg = -1
+	} else {
+		return nil, RecoveryReport{}, err
+	}
+	d.freeCache = d.reusableCount()
+
+	if !p.NoAutoCheck {
+		freed, err := d.checkLocked()
+		if err != nil {
+			// The sweep is best-effort: on a full disk there may be no
+			// log space to record the frees; the blocks stay leaked
+			// until space exists and CheckDisk is run again.
+			if !errors.Is(err, ErrNoSpace) {
+				return nil, RecoveryReport{}, err
+			}
+		} else {
+			rpt.LeakedFreed = freed
+		}
+	}
+	return d, rpt, nil
+}
+
+// loadNewestCheckpoint reads both checkpoint regions and returns the
+// newest valid one and its region index.
+func loadNewestCheckpoint(dev disk.Disk, layout seg.Layout) (seg.Checkpoint, int, error) {
+	var (
+		best     seg.Checkpoint
+		bestSlot = -1
+	)
+	buf := make([]byte, layout.CkptRegionBytes())
+	for i := 0; i < 2; i++ {
+		if err := dev.ReadAt(buf, layout.CkptOff(i)); err != nil {
+			return seg.Checkpoint{}, 0, fmt.Errorf("lld: reading checkpoint region %d: %w", i, err)
+		}
+		ck, err := seg.DecodeCheckpoint(buf)
+		if err != nil {
+			if errors.Is(err, seg.ErrBadCheckpoint) {
+				continue
+			}
+			return seg.Checkpoint{}, 0, err
+		}
+		if bestSlot < 0 || ck.CkptTS > best.CkptTS {
+			best, bestSlot = ck, i
+		}
+	}
+	if bestSlot < 0 {
+		return seg.Checkpoint{}, 0, fmt.Errorf("%w: no valid checkpoint region", seg.ErrBadCheckpoint)
+	}
+	return best, bestSlot, nil
+}
+
+// recoveryTables reconstructs the persistent state from a checkpoint
+// plus a summary replay. Operations tagged with an ARU are buffered and
+// applied — at the commit record's timestamp — only when the commit
+// record is reached; everything else is discarded (paper §3.3:
+// "recovery is always to the most recent persistent version").
+type recoveryTables struct {
+	blocks map[BlockID]*seg.BlockRec
+	lists  map[ListID]*seg.ListRec
+
+	pending   map[ARUID][]pendingOp
+	committed int
+	maxTS     uint64
+	maxARU    ARUID
+	fallbacks int
+}
+
+type pendingOp struct {
+	e   seg.Entry
+	seg uint32
+}
+
+func newRecoveryTables(ck seg.Checkpoint) *recoveryTables {
+	rt := &recoveryTables{
+		blocks:  make(map[BlockID]*seg.BlockRec, len(ck.Blocks)),
+		lists:   make(map[ListID]*seg.ListRec, len(ck.Lists)),
+		pending: make(map[ARUID][]pendingOp),
+	}
+	for i := range ck.Blocks {
+		r := ck.Blocks[i]
+		rt.blocks[r.ID] = &r
+	}
+	for i := range ck.Lists {
+		r := ck.Lists[i]
+		rt.lists[r.ID] = &r
+	}
+	return rt
+}
+
+// apply processes one summary entry found in segment segIdx.
+func (rt *recoveryTables) apply(e seg.Entry, segIdx uint32) {
+	if e.TS > rt.maxTS {
+		rt.maxTS = e.TS
+	}
+	if e.ARU > rt.maxARU {
+		rt.maxARU = e.ARU
+	}
+	switch e.Kind {
+	case seg.KindNewBlock, seg.KindNewList:
+		// Allocations are unconditional, even inside an ARU (§3.3).
+		rt.applyNow(e, segIdx, e.TS)
+	case seg.KindCommit:
+		ops := rt.pending[e.ARU]
+		delete(rt.pending, e.ARU)
+		for _, op := range ops {
+			rt.applyNow(op.e, op.seg, e.TS)
+		}
+		rt.committed++
+	case seg.KindAbort:
+		delete(rt.pending, e.ARU)
+	default:
+		if e.ARU != seg.SimpleARU {
+			rt.pending[e.ARU] = append(rt.pending[e.ARU], pendingOp{e: e, seg: segIdx})
+			return
+		}
+		rt.applyNow(e, segIdx, e.TS)
+	}
+}
+
+// applyNow applies one entry at effective time ts.
+func (rt *recoveryTables) applyNow(e seg.Entry, segIdx uint32, ts uint64) {
+	switch e.Kind {
+	case seg.KindNewBlock:
+		rt.blocks[e.Block] = &seg.BlockRec{ID: e.Block, TS: ts}
+	case seg.KindNewList:
+		rt.lists[e.List] = &seg.ListRec{ID: e.List}
+	case seg.KindWrite:
+		r, ok := rt.blocks[e.Block]
+		if !ok {
+			// A write to a block that no longer exists indicates a
+			// client race that resolved to deletion. Drop it.
+			rt.fallbacks++
+			return
+		}
+		if r.HasData && r.TS > ts {
+			// Writes apply in timestamp order, not log order: a later
+			// unit's already-committed version can be materialized at
+			// an earlier log position than the commit record that
+			// applies an earlier unit's buffered write.
+			rt.fallbacks++
+			return
+		}
+		r.Seg = segIdx
+		r.Slot = e.Slot
+		r.HasData = true
+		r.TS = ts
+	case seg.KindDeleteBlock:
+		delete(rt.blocks, e.Block)
+	case seg.KindDeleteList:
+		delete(rt.lists, e.List)
+	case seg.KindLink:
+		rt.applyLink(e, ts)
+	case seg.KindUnlink:
+		rt.applyUnlink(e, ts)
+	}
+}
+
+func (rt *recoveryTables) applyLink(e seg.Entry, ts uint64) {
+	l, ok := rt.lists[e.List]
+	if !ok {
+		rt.fallbacks++
+		return
+	}
+	b, ok := rt.blocks[e.Block]
+	if !ok {
+		rt.fallbacks++
+		return
+	}
+	pred := e.Pred
+	if pred != seg.NilBlock {
+		p, ok := rt.blocks[pred]
+		if !ok || p.List != e.List {
+			rt.fallbacks++
+			pred = seg.NilBlock
+		}
+	}
+	if pred == seg.NilBlock {
+		b.Succ = l.First
+		l.First = e.Block
+		if l.Last == seg.NilBlock {
+			l.Last = e.Block
+		}
+	} else {
+		p := rt.blocks[pred]
+		b.Succ = p.Succ
+		p.Succ = e.Block
+		p.TS = ts
+		if l.Last == pred {
+			l.Last = e.Block
+		}
+	}
+	b.List = e.List
+	b.TS = ts
+}
+
+func (rt *recoveryTables) applyUnlink(e seg.Entry, ts uint64) {
+	l, ok := rt.lists[e.List]
+	if !ok {
+		rt.fallbacks++
+		return
+	}
+	b, ok := rt.blocks[e.Block]
+	if !ok {
+		rt.fallbacks++
+		return
+	}
+	// Find the predecessor in the reconstructed chain.
+	pred := seg.NilBlock
+	for cur := l.First; cur != seg.NilBlock && cur != e.Block; {
+		p, ok := rt.blocks[cur]
+		if !ok {
+			rt.fallbacks++
+			return
+		}
+		pred = cur
+		cur = p.Succ
+	}
+	if pred == seg.NilBlock {
+		if l.First != e.Block {
+			rt.fallbacks++
+			return
+		}
+		l.First = b.Succ
+	} else {
+		p := rt.blocks[pred]
+		p.Succ = b.Succ
+		p.TS = ts
+	}
+	if l.Last == e.Block {
+		l.Last = pred
+	}
+	b.Succ = seg.NilBlock
+	b.List = seg.NilList
+	b.TS = ts
+}

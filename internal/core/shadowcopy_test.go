@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestShadowCopyCarriesBufferedContents is the regression test for a
+// copy-on-write bug found by the file-system model test: creating a
+// shadow record for a structure-only change (here: the block becomes
+// the predecessor in an unlink) copied the committed version's record
+// but not its still-in-memory buffer, so the ARU then read the block as
+// zeroes — and a read-modify-write through the ARU destroyed it.
+func TestShadowCopyCarriesBufferedContents(t *testing.T) {
+	d, _ := newTestLLD(t, Params{})
+	lst, _ := d.NewList(0)
+	var blocks []BlockID
+	pred := NilBlock
+	for i := 0; i < 4; i++ {
+		b, _ := d.NewBlock(0, lst, pred)
+		if err := d.Write(0, b, fill(d, 0x5b)); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+		pred = b
+	}
+
+	a, _ := d.BeginARU()
+	if err := d.DeleteBlock(a, blocks[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteBlock(a, blocks[2]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, d.BlockSize())
+	if err := d.Read(a, blocks[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x5b {
+		t.Fatalf("in-ARU read of untouched block: %#x, want 0x5b", buf[0])
+	}
+	if err := d.Write(a, blocks[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndARU(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(0, blocks[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x5b {
+		t.Fatalf("after commit: %#x, want 0x5b", buf[0])
+	}
+}

@@ -1,0 +1,234 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewMem(1 << 20)
+	w := bytes.Repeat([]byte{0xab}, 4096)
+	if err := d.WriteAt(w, 8192); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 4096)
+	if err := d.ReadAt(r, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("round trip mismatch")
+	}
+	// Unwritten areas read as zero.
+	if err := d.ReadAt(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, make([]byte, 4096)) {
+		t.Fatal("fresh area not zero")
+	}
+}
+
+func TestAlignmentAndRange(t *testing.T) {
+	d := NewMem(1 << 16)
+	buf := make([]byte, SectorSize)
+	if err := d.ReadAt(buf, 7); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("unaligned offset: %v", err)
+	}
+	if err := d.ReadAt(buf[:100], 0); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("unaligned length: %v", err)
+	}
+	if err := d.ReadAt(buf, 1<<16); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past end: %v", err)
+	}
+	if err := d.WriteAt(buf, -512); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestStatsAndClock(t *testing.T) {
+	d := NewSim(1<<22, HPC3010())
+	buf := make([]byte, 4096)
+	for i := 0; i < 4; i++ {
+		if err := d.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Writes != 4 || st.Reads != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.BytesWritten != 4*4096 || st.BytesRead != 4096 {
+		t.Fatalf("bytes: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatalf("virtual clock did not advance")
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatalf("ResetStats did not zero")
+	}
+}
+
+// TestServiceTimeModel checks the qualitative properties the benchmarks
+// rely on: sequential access beats near-gap access beats random access,
+// and the model is deterministic.
+func TestServiceTimeModel(t *testing.T) {
+	g := HPC3010()
+	cap := int64(400 << 20)
+	seq := g.serviceTime(8192, 8192, 4096, cap)         // head already there
+	near := g.serviceTime(8192, 8192+8*1024, 4096, cap) // small forward gap
+	back := g.serviceTime(8192, 0, 4096, cap)           // any backward move seeks
+	far := g.serviceTime(0, cap/2, 4096, cap)           // long seek
+	if !(seq < near && near < back && back < far) {
+		t.Fatalf("model ordering violated: seq=%v near=%v back=%v far=%v", seq, near, back, far)
+	}
+	if again := g.serviceTime(0, cap/2, 4096, cap); again != far {
+		t.Fatalf("model not deterministic")
+	}
+	// A full 0.5 MB segment write should approach the media rate.
+	segTime := g.serviceTime(0, cap/2, 512*1024, cap)
+	media := time.Duration(512 * 1024 * int64(time.Second) / g.TransferRate)
+	if segTime < media || segTime > media+30*time.Millisecond {
+		t.Fatalf("segment write %v not dominated by transfer %v", segTime, media)
+	}
+}
+
+func TestCrashPlan(t *testing.T) {
+	d := NewMem(1 << 20)
+	d.SetFaultPlan(FaultPlan{CrashAfterWrites: 2, TornSectors: 1})
+	buf := bytes.Repeat([]byte{0x11}, 2048)
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Third write is fatal: only one sector lands.
+	fatal := bytes.Repeat([]byte{0x22}, 2048)
+	if err := d.WriteAt(fatal, 8192); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("fatal write: %v", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if err := d.ReadAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("I/O after crash: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	// The image shows the torn write: first sector only.
+	img := d.Image()
+	if img[8192] != 0x22 || img[8192+SectorSize-1] != 0x22 {
+		t.Fatal("first sector of torn write missing")
+	}
+	if img[8192+SectorSize] != 0 {
+		t.Fatal("torn write wrote beyond TornSectors")
+	}
+	// Reopen yields a working device with the same contents.
+	d2 := d.Reopen(img)
+	if d2.Crashed() {
+		t.Fatal("reopened device is crashed")
+	}
+	got := make([]byte, 2048)
+	if err := d2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 {
+		t.Fatal("contents lost across reopen")
+	}
+}
+
+func TestTornSectorsVariants(t *testing.T) {
+	// TornSectors < 0 drops the fatal write entirely.
+	d := NewMem(1 << 20)
+	d.SetFaultPlan(FaultPlan{CrashAfterWrites: 0, TornSectors: -1})
+	d.SetFaultPlan(FaultPlan{CrashAfterWrites: 1, TornSectors: -1})
+	_ = d.WriteAt(make([]byte, 512), 0)
+	if err := d.WriteAt(bytes.Repeat([]byte{0xff}, 512), 512); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if d.Image()[512] != 0 {
+		t.Fatal("dropped write reached the medium")
+	}
+	// TornSectors == 0 applies the fatal write fully.
+	d = NewMem(1 << 20)
+	d.SetFaultPlan(FaultPlan{CrashAfterWrites: 1, TornSectors: 0})
+	_ = d.WriteAt(make([]byte, 512), 0)
+	if err := d.WriteAt(bytes.Repeat([]byte{0xee}, 1024), 1024); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	img := d.Image()
+	if img[1024] != 0xee || img[2047] != 0xee {
+		t.Fatal("full fatal write should have landed")
+	}
+}
+
+func TestWriteErrorInjection(t *testing.T) {
+	d := NewMem(1 << 20)
+	d.SetFaultPlan(FaultPlan{WriteErrorEvery: 3})
+	buf := make([]byte, 512)
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := d.WriteAt(buf, int64(i)*512); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("got %d injected failures, want 3", failures)
+	}
+	if d.Crashed() {
+		t.Fatal("transient errors must not crash the device")
+	}
+}
+
+// TestQuickContentFidelity: random aligned writes then reads always see
+// the most recent data.
+func TestQuickContentFidelity(t *testing.T) {
+	f := func(offsets []uint16, pattern byte) bool {
+		d := NewMem(1 << 22)
+		last := make(map[int64]byte)
+		buf := make([]byte, 512)
+		for i, o := range offsets {
+			off := (int64(o) % (1 << 12)) * 512
+			p := pattern + byte(i)
+			for j := range buf {
+				buf[j] = p
+			}
+			if err := d.WriteAt(buf, off); err != nil {
+				return false
+			}
+			last[off] = p
+		}
+		for off, p := range last {
+			if err := d.ReadAt(buf, off); err != nil {
+				return false
+			}
+			for _, x := range buf {
+				if x != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualCrash(t *testing.T) {
+	d := NewMem(1 << 16)
+	d.Crash()
+	if err := d.WriteAt(make([]byte, 512), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after manual crash: %v", err)
+	}
+}

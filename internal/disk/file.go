@@ -1,0 +1,120 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is a Disk backed by a file on the host file system, for tools
+// and deployments that want the logical disk to actually persist.
+// Unlike Sim it has no service-time model or fault injection; the
+// virtual-clock experiments use Sim, the file device carries real data
+// (aru-mkimage/aru-fsck images, for example).
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+var _ Disk = (*File)(nil)
+
+// CreateFile creates (or truncates) path as a device of the given
+// capacity, rounded down to whole sectors.
+func CreateFile(path string, capacity int64) (*File, error) {
+	capacity -= capacity % SectorSize
+	if capacity <= 0 {
+		return nil, fmt.Errorf("disk: file device needs a positive capacity, got %d", capacity)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: creating %s: %w", path, err)
+	}
+	if err := f.Truncate(capacity); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("disk: sizing %s: %w", path, err)
+	}
+	return &File{f: f, size: capacity}, nil
+}
+
+// OpenFile opens an existing device file; its size (rounded down to
+// whole sectors) is the capacity.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("disk: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	size := st.Size() - st.Size()%SectorSize
+	if size <= 0 {
+		_ = f.Close()
+		return nil, fmt.Errorf("disk: %s is empty", path)
+	}
+	return &File{f: f, size: size}, nil
+}
+
+func (d *File) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.size {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(p), d.size)
+	}
+	if off%SectorSize != 0 || len(p)%SectorSize != 0 {
+		return fmt.Errorf("%w: off=%d len=%d", ErrUnaligned, off, len(p))
+	}
+	return nil
+}
+
+// ReadAt implements Disk.
+func (d *File) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(p, off); err != nil {
+		return err
+	}
+	if _, err := d.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("disk: read at %d: %w", off, err)
+	}
+	return nil
+}
+
+// WriteAt implements Disk.
+func (d *File) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(p, off); err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("disk: write at %d: %w", off, err)
+	}
+	return nil
+}
+
+// Sync implements Disk by fsyncing the backing file.
+func (d *File) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the capacity of the device in bytes.
+func (d *File) Size() int64 {
+	return d.size
+}
+
+// Close syncs and closes the backing file.
+func (d *File) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		_ = d.f.Close()
+		return fmt.Errorf("disk: sync on close: %w", err)
+	}
+	return d.f.Close()
+}

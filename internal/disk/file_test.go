@@ -1,0 +1,71 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := CreateFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1<<20 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	w := bytes.Repeat([]byte{0xcd}, 4096)
+	if err := d.WriteAt(w, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the data persists; unwritten regions read as zero.
+	d2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d2.Close() }()
+	r := make([]byte, 4096)
+	if err := d2.ReadAt(r, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("contents lost across close/open")
+	}
+	if err := d2.ReadAt(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, make([]byte, 4096)) {
+		t.Fatal("fresh region not zero")
+	}
+}
+
+func TestFileDeviceErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := CreateFile(path, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+	buf := make([]byte, SectorSize)
+	if err := d.ReadAt(buf, 3); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("unaligned: %v", err)
+	}
+	if err := d.WriteAt(buf, 1<<16); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := CreateFile(path, 100); err == nil {
+		t.Error("sub-sector capacity accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

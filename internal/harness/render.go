@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PctOverhead returns how much slower `got` throughput is than `base`,
+// in percent — the paper's "percent-difference" (positive = overhead).
+func PctOverhead(base, got float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - got) / base * 100
+}
+
+// PaperFig5Overheads are the percent-differences the paper quotes in
+// §5.3 for Figure 5, relative to the "old" build.
+type PaperFig5Overheads struct {
+	Create1K, Create10K   float64 // "new" C+W
+	Delete1K, Delete10K   float64 // "new" D
+	DeleteI1K, DeleteI10K float64 // "new, delete" D (improved)
+}
+
+// PaperFig5 returns the quoted numbers.
+func PaperFig5() PaperFig5Overheads {
+	return PaperFig5Overheads{
+		Create1K: 7.2, Create10K: 4.0,
+		Delete1K: 24.6, Delete10K: 25.5,
+		DeleteI1K: 20.5, DeleteI10K: 17.9,
+	}
+}
+
+// FormatFig5 renders Figure 5 as text: absolute files/second per build
+// and phase, plus measured-vs-paper overheads of the concurrent builds
+// relative to "old".
+func FormatFig5(res Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: small-file throughput (files/second; higher is better)\n")
+	render := func(label string, rows []SmallResult) {
+		fmt.Fprintf(&b, "\n  %s\n", label)
+		fmt.Fprintf(&b, "  %-12s %10s %10s %10s\n", "build", "C+W", "R", "D")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-12s %10.1f %10.1f %10.1f\n",
+				r.Spec.Name, r.CreateWrite.PerSec(), r.Read.PerSec(), r.Delete.PerSec())
+		}
+		if len(rows) == 3 {
+			old, nw, nwd := rows[0], rows[1], rows[2]
+			fmt.Fprintf(&b, "  overhead vs old: new C+W %.1f%%  new D %.1f%%  new,delete D %.1f%%\n",
+				PctOverhead(old.CreateWrite.PerSec(), nw.CreateWrite.PerSec()),
+				PctOverhead(old.Delete.PerSec(), nw.Delete.PerSec()),
+				PctOverhead(old.Delete.PerSec(), nwd.Delete.PerSec()))
+		}
+	}
+	render("10,000 x 1 KByte files", res.Small1K)
+	render("1,000 x 10 KByte files", res.Small10K)
+	p := PaperFig5()
+	fmt.Fprintf(&b, "\n  paper (§5.3): new C+W 1K %.1f%% / 10K %.1f%%; new D %.1f%% / %.1f%%; new,delete D %.1f%% / %.1f%%\n",
+		p.Create1K, p.Create10K, p.Delete1K, p.Delete10K, p.DeleteI1K, p.DeleteI10K)
+	return b.String()
+}
+
+// FormatFig6 renders Figure 6: MB/s for the five large-file phases,
+// old vs new, with percent-differences.
+func FormatFig6(res Fig6Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: large-file throughput (MByte/second; higher is better)\n\n")
+	fmt.Fprintf(&b, "  %-8s %8s %8s %8s %8s %8s\n", "build", "write1", "read1", "write2", "read2", "read3")
+	for _, r := range []LargeResult{res.Old, res.New} {
+		fmt.Fprintf(&b, "  %-8s", r.Spec.Name)
+		for _, p := range r.Phases() {
+			fmt.Fprintf(&b, " %8.2f", p.MBPerSec())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "  overhead vs old:")
+	oldPh, newPh := res.Old.Phases(), res.New.Phases()
+	for i := range oldPh {
+		fmt.Fprintf(&b, " %s %.1f%%", oldPh[i].Name, PctOverhead(oldPh[i].MBPerSec(), newPh[i].MBPerSec()))
+	}
+	fmt.Fprintf(&b, "\n  paper (§5.3): write1 2.9%%, all other phases 0.2%%–0.7%%\n")
+	return b.String()
+}
+
+// FormatARULat renders the §5.3 latency experiment.
+func FormatARULat(res ARULatencyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ARU begin/end latency (%d empty ARUs, build %q)\n\n", res.N, res.Spec.Name)
+	fmt.Fprintf(&b, "  per ARU:          %8.2f µs  (paper: 78.47 µs)\n", float64(res.PerARU.Nanoseconds())/1000)
+	fmt.Fprintf(&b, "  segments written: %8d     (paper: 24 for 500,000 ARUs)\n", res.SegmentsWritten)
+	return b.String()
+}
+
+// CSVFig5 renders Figure 5 as CSV rows
+// (population,build,phase,files_per_sec) for plotting.
+func CSVFig5(res Fig5Result) string {
+	var b strings.Builder
+	b.WriteString("population,build,phase,files_per_sec\n")
+	emit := func(label string, rows []SmallResult) {
+		for _, r := range rows {
+			for _, p := range []Phase{r.CreateWrite, r.Read, r.Delete} {
+				fmt.Fprintf(&b, "%s,%s,%s,%.2f\n", label, r.Spec.Name, p.Name, p.PerSec())
+			}
+		}
+	}
+	emit("10000x1KB", res.Small1K)
+	emit("1000x10KB", res.Small10K)
+	return b.String()
+}
+
+// CSVFig6 renders Figure 6 as CSV rows (build,phase,mb_per_sec).
+func CSVFig6(res Fig6Result) string {
+	var b strings.Builder
+	b.WriteString("build,phase,mb_per_sec\n")
+	for _, r := range []LargeResult{res.Old, res.New} {
+		for _, p := range r.Phases() {
+			fmt.Fprintf(&b, "%s,%s,%.3f\n", r.Spec.Name, p.Name, p.MBPerSec())
+		}
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1 (the builds under evaluation).
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: MinixLLD builds\n\n")
+	for _, s := range Table1() {
+		desc := ""
+		switch s.Name {
+		case "old":
+			desc = "original MinixLLD (sequential ARUs)"
+		case "new":
+			desc = "concurrent ARUs"
+		case "new, delete":
+			desc = "concurrent ARUs + improved file deletion in Minix"
+		}
+		fmt.Fprintf(&b, "  %-12s %s (variant=%s, delete=%s)\n", s.Name, desc, s.Variant, s.Policy)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package minixfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+)
+
+func TestHardLinks(t *testing.T) {
+	fs, _ := newTestFS(t, core.VariantNew, DeleteBlocksFirst)
+	f, err := fs.Create("/orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("shared"), 300)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/orig", "/d/alias"); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+
+	// Both names see the same inode and contents.
+	fi1, _ := fs.Stat("/orig")
+	fi2, _ := fs.Stat("/d/alias")
+	if fi1.Ino != fi2.Ino {
+		t.Fatalf("link has different inode: %d vs %d", fi1.Ino, fi2.Ino)
+	}
+	if fi1.Nlink != 2 {
+		t.Fatalf("nlink = %d, want 2", fi1.Nlink)
+	}
+	g, err := fs.Open("/d/alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.ReadAll()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("alias contents differ")
+	}
+	// Writes through one name are visible through the other.
+	if _, err := g.WriteAt([]byte("UPDATED"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := fs.Open("/orig")
+	got, _ = h.ReadAll()
+	if !bytes.HasPrefix(got, []byte("UPDATED")) {
+		t.Fatal("write not visible through the other name")
+	}
+	if _, err := fs.Fsck(); err != nil {
+		t.Fatalf("fsck with links: %v", err)
+	}
+
+	// Removing one name keeps the file; removing the last frees it.
+	if err := fs.Remove("/orig"); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := fs.Stat("/d/alias"); err != nil || fi.Nlink != 1 {
+		t.Fatalf("after first remove: %+v %v", fi, err)
+	}
+	if _, err := fs.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d/alias"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d/alias"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("last remove: %v", err)
+	}
+	rpt, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.FilesFound != 0 {
+		t.Fatalf("files remain after final remove: %d", rpt.FilesFound)
+	}
+	if err := fs.Disk().VerifyInternal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	fs, _ := newTestFS(t, core.VariantNew, DeleteBlocksFirst)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d", "/d2"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("linking a directory: %v", err)
+	}
+	if err := fs.Link("/missing", "/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("linking a missing file: %v", err)
+	}
+	if err := fs.Link("/f", "/f"); !errors.Is(err, ErrExist) {
+		t.Errorf("linking over an existing name: %v", err)
+	}
+}
+
+// TestCrashSweepLink: the link-count bump and the new dirent are
+// atomic at every crash point — Fsck's nlink-vs-references cross-check
+// is the oracle.
+func TestCrashSweepLink(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x7C}, 2200)
+	workload := func(fs *FS) error {
+		f, err := fs.Create("/file")
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			return err
+		}
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		if err := fs.Link("/file", "/alias1"); err != nil {
+			return err
+		}
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		if err := fs.Link("/file", "/alias2"); err != nil {
+			return err
+		}
+		if err := fs.Remove("/file"); err != nil {
+			return err
+		}
+		return fs.Sync()
+	}
+	sweep(t, DeleteBlocksFirst, workload, func(t *testing.T, crash int64, fs *FS) {
+		// Fsck (run by sweep) already cross-checked nlink == dirent
+		// references. Contents must be intact through any live name.
+		for _, name := range []string{"/file", "/alias1", "/alias2"} {
+			f, err := fs.Open(name)
+			if errors.Is(err, ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("crash %d: %s: %v", crash, name, err)
+			}
+			got, err := f.ReadAll()
+			if err != nil {
+				t.Fatalf("crash %d: read %s: %v", crash, name, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("crash %d: %s torn", crash, name)
+			}
+		}
+	})
+}
+
+var _ = disk.SectorSize

@@ -1,0 +1,263 @@
+package minixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// model is the in-memory oracle the file system is checked against:
+// a map of path → contents plus a set of directories.
+type model struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+func newModel() *model {
+	return &model{files: make(map[string][]byte), dirs: map[string]bool{"/": true}}
+}
+
+func (m *model) parentOK(path string) bool {
+	i := len(path) - 1
+	for i > 0 && path[i] != '/' {
+		i--
+	}
+	dir := path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return m.dirs[dir]
+}
+
+// TestQuickModelEquivalence drives random file system operations and
+// the oracle in lockstep; after every few steps the visible tree and
+// all contents must agree, and Fsck must pass.
+func TestQuickModelEquivalence(t *testing.T) {
+	layout := seg.Layout{
+		BlockSize: 1024, SegBytes: 16384, NumSegs: 256,
+		MaxBlocks: 16384, MaxLists: 8192,
+	}
+	paths := []string{
+		"/a", "/b", "/c", "/d0", "/d0/x", "/d0/y", "/d1", "/d1/x", "/d1/z",
+	}
+	dirs := map[string]bool{"/d0": true, "/d1": true}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := disk.NewMem(layout.DiskBytes())
+		ld, err := core.Format(dev, core.Params{Layout: layout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Mkfs(ld, Config{NumInodes: 128, Policy: DeletePolicy(rng.Intn(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newModel()
+
+		for step := 0; step < 120; step++ {
+			p := paths[rng.Intn(len(paths))]
+			switch op := rng.Intn(6); op {
+			case 0: // create or mkdir
+				if dirs[p] {
+					err = fs.Mkdir(p)
+					switch {
+					case m.dirs[p] || m.files[p] != nil:
+						if !errors.Is(err, ErrExist) {
+							t.Fatalf("seed %d step %d: mkdir %s: %v", seed, step, p, err)
+						}
+					case !m.parentOK(p):
+						if err == nil {
+							t.Fatalf("seed %d step %d: mkdir %s under missing parent", seed, step, p)
+						}
+					default:
+						if err != nil {
+							t.Fatalf("seed %d step %d: mkdir %s: %v", seed, step, p, err)
+						}
+						m.dirs[p] = true
+					}
+					continue
+				}
+				_, err := fs.Create(p)
+				switch {
+				case m.files[p] != nil || m.dirs[p]:
+					if !errors.Is(err, ErrExist) {
+						t.Fatalf("seed %d step %d: create %s: %v", seed, step, p, err)
+					}
+				case !m.parentOK(p):
+					if !errors.Is(err, ErrNotExist) {
+						t.Fatalf("seed %d step %d: create %s: %v", seed, step, p, err)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("seed %d step %d: create %s: %v", seed, step, p, err)
+					}
+					m.files[p] = []byte{}
+				}
+			case 1: // write at random offset
+				if dirs[p] {
+					continue
+				}
+				f, err := fs.Open(p)
+				if m.files[p] == nil {
+					if err == nil {
+						t.Fatalf("seed %d step %d: opened missing %s", seed, step, p)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d step %d: open %s: %v", seed, step, p, err)
+				}
+				off := rng.Intn(3000)
+				data := bytes.Repeat([]byte{byte(step)}, rng.Intn(2000)+1)
+				if _, err := f.WriteAt(data, int64(off)); err != nil {
+					t.Fatalf("seed %d step %d: write %s: %v", seed, step, p, err)
+				}
+				cur := m.files[p]
+				if need := off + len(data); need > len(cur) {
+					grown := make([]byte, need)
+					copy(grown, cur)
+					cur = grown
+				}
+				copy(cur[off:], data)
+				m.files[p] = cur
+			case 2: // remove
+				if dirs[p] {
+					continue
+				}
+				err := fs.Remove(p)
+				if m.files[p] == nil {
+					if err == nil {
+						t.Fatalf("seed %d step %d: removed missing %s", seed, step, p)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d step %d: remove %s: %v", seed, step, p, err)
+				}
+				delete(m.files, p)
+			case 3: // truncate
+				if dirs[p] || m.files[p] == nil {
+					continue
+				}
+				f, err := fs.Open(p)
+				if err != nil {
+					t.Fatalf("seed %d step %d: open %s: %v", seed, step, p, err)
+				}
+				n := rng.Intn(len(m.files[p]) + 1)
+				if err := f.Truncate(uint64(n)); err != nil {
+					t.Fatalf("seed %d step %d: truncate %s: %v", seed, step, p, err)
+				}
+				m.files[p] = m.files[p][:n]
+			case 4: // rename to a fresh name in the same tree
+				if dirs[p] || m.files[p] == nil {
+					continue
+				}
+				dst := p + "r"
+				if m.files[dst] != nil || m.dirs[dst] {
+					continue
+				}
+				if err := fs.Rename(p, dst); err != nil {
+					t.Fatalf("seed %d step %d: rename %s: %v", seed, step, p, err)
+				}
+				m.files[dst] = m.files[p]
+				delete(m.files, p)
+				// Rename it straight back so the fixed path set stays
+				// meaningful.
+				if err := fs.Rename(dst, p); err != nil {
+					t.Fatalf("seed %d step %d: rename back: %v", seed, step, err)
+				}
+				m.files[p] = m.files[dst]
+				delete(m.files, dst)
+			case 5: // sync
+				if err := fs.Sync(); err != nil {
+					t.Fatalf("seed %d step %d: sync: %v", seed, step, err)
+				}
+			}
+		}
+
+		// Final comparison: tree and contents.
+		if _, err := fs.Fsck(); err != nil {
+			t.Fatalf("seed %d: fsck: %v", seed, err)
+		}
+		var got []string
+		var walk func(dir string)
+		walk = func(dir string) {
+			ents, err := fs.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				p := dir + "/" + e.Name
+				if dir == "/" {
+					p = "/" + e.Name
+				}
+				if e.Mode == ModeDir {
+					walk(p)
+					continue
+				}
+				got = append(got, p)
+				f, err := fs.Open(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, err := f.ReadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(body, m.files[p]) {
+					t.Fatalf("seed %d: %s has %d bytes, model says %d", seed, p, len(body), len(m.files[p]))
+				}
+			}
+		}
+		walk("/")
+		want := make([]string, 0, len(m.files))
+		for p := range m.files {
+			want = append(want, p)
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: tree mismatch:\n fs: %v\n model: %v", seed, got, want)
+		}
+
+		// And once more after a clean remount.
+		meta := fs.MetaList()
+		if err := ld.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ld2, err := core.Open(dev, core.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs2, err := MountAt(ld2, DeleteBlocksFirst, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, want := range m.files {
+			f, err := fs2.Open(p)
+			if err != nil {
+				t.Fatalf("seed %d: remount lost %s: %v", seed, p, err)
+			}
+			body, err := f.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Fatalf("seed %d: remount corrupted %s", seed, p)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package minixfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// TestTwoFileSystemsShareOneDisk exercises the Logical Disk's
+// multi-client design (paper §2: "several different file systems can
+// share a particular LD implementation"): two independent Minix file
+// systems live on one logical disk, are driven concurrently, and are
+// re-mounted by their meta lists after a clean reopen.
+func TestTwoFileSystemsShareOneDisk(t *testing.T) {
+	layout := seg.Layout{
+		BlockSize: 1024, SegBytes: 16384, NumSegs: 256,
+		MaxBlocks: 16384, MaxLists: 8192,
+	}
+	dev := disk.NewMem(layout.DiskBytes())
+	ld, err := core.Format(dev, core.Params{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA, err := Mkfs(ld, Config{NumInodes: 256, Policy: DeleteBlocksFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsB, err := Mkfs(ld, Config{NumInodes: 256, Policy: DeleteListFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsA.MetaList() == fsB.MetaList() {
+		t.Fatal("the two file systems share a meta list")
+	}
+
+	// Drive both concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	drive := func(fs *FS, tag byte) {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			f, err := fs.Create(fmt.Sprintf("/n%02d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := f.WriteAt(bytes.Repeat([]byte{tag}, 300+i*40), 0); err != nil {
+				errs <- err
+				return
+			}
+			if i%4 == 3 {
+				if err := fs.Remove(fmt.Sprintf("/n%02d", i-1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+		errs <- nil
+	}
+	wg.Add(2)
+	go drive(fsA, 0xAA)
+	go drive(fsB, 0xBB)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fs := range []*FS{fsA, fsB} {
+		if _, err := fs.Fsck(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metaA, metaB := fsA.MetaList(), fsB.MetaList()
+	if err := ld.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount both by meta list after recovery.
+	ld2, err := core.Open(dev, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA2, err := MountAt(ld2, DeleteBlocksFirst, metaA)
+	if err != nil {
+		t.Fatalf("remount A: %v", err)
+	}
+	fsB2, err := MountAt(ld2, DeleteListFirst, metaB)
+	if err != nil {
+		t.Fatalf("remount B: %v", err)
+	}
+	check := func(fs *FS, tag byte) {
+		t.Helper()
+		rpt, err := fs.Fsck()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 25 created, 6 removed.
+		if rpt.FilesFound != 19 {
+			t.Fatalf("tag %#x: %d files, want 19", tag, rpt.FilesFound)
+		}
+		f, err := fs.Open("/n00")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := f.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range body {
+			if x != tag {
+				t.Fatalf("cross-contamination: found %#x in fs %#x", x, tag)
+			}
+		}
+	}
+	check(fsA2, 0xAA)
+	check(fsB2, 0xBB)
+
+	// Default Mount finds the first file system.
+	fsFirst, err := Mount(ld2, DeleteBlocksFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsFirst.MetaList() != metaA {
+		t.Fatalf("Mount found meta list %d, want the first (%d)", fsFirst.MetaList(), metaA)
+	}
+}

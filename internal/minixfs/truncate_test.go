@@ -1,0 +1,42 @@
+package minixfs
+
+import (
+	"bytes"
+	"testing"
+
+	"aru/internal/core"
+)
+
+// TestTruncateRMWRegression pins the end-to-end scenario that exposed
+// the shadow-copy bug (see core's shadowcopy_test.go): overlapping
+// writes, then a truncate whose tail read-modify-write runs inside the
+// deletion ARU.
+func TestTruncateRMWRegression(t *testing.T) {
+	fs, _ := newTestFS(t, core.VariantNew, DeleteBlocksFirst)
+	f, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xAA}, 3252), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0x5b}, 1796), 847); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1981); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range got {
+		want := byte(0xAA)
+		if i >= 847 {
+			want = 0x5b
+		}
+		if x != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, x, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package seg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allKinds lists every valid entry kind.
+func allKinds() []Kind {
+	return []Kind{
+		KindWrite, KindNewBlock, KindDeleteBlock, KindNewList,
+		KindDeleteList, KindLink, KindUnlink, KindCommit, KindAbort,
+	}
+}
+
+// canonical zeroes the fields a kind does not store, so round-trip
+// comparisons only look at persisted fields.
+func canonical(e Entry) Entry {
+	c := Entry{Kind: e.Kind, ARU: e.ARU, TS: e.TS}
+	switch e.Kind {
+	case KindWrite:
+		c.Block, c.Slot = e.Block, e.Slot
+	case KindNewBlock:
+		c.Block, c.List = e.Block, e.List
+	case KindDeleteBlock:
+		c.Block = e.Block
+	case KindNewList, KindDeleteList:
+		c.List = e.List
+	case KindLink, KindUnlink:
+		c.Block, c.List, c.Pred = e.Block, e.List, e.Pred
+	}
+	return c
+}
+
+func TestEntryRoundTripAllKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		e := Entry{
+			Kind: k, ARU: 7, TS: 123456789,
+			Block: 42, List: 99, Pred: 41, Slot: 17,
+		}
+		buf := AppendEntry(nil, e)
+		if len(buf) != EncodedSize(k) {
+			t.Errorf("%v: encoded %d bytes, EncodedSize says %d", k, len(buf), EncodedSize(k))
+		}
+		got, n, err := DecodeEntry(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", k, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: decode consumed %d of %d", k, n, len(buf))
+		}
+		if got != canonical(e) {
+			t.Errorf("%v: round trip %+v != %+v", k, got, canonical(e))
+		}
+	}
+}
+
+func TestEntrySizes(t *testing.T) {
+	// Commit records must be small: the paper's latency experiment
+	// packs 500,000 of them into 24 half-megabyte segments (~25 B
+	// each).
+	if s := EncodedSize(KindCommit); s > 25 {
+		t.Errorf("commit record is %d bytes; the paper implies ~25", s)
+	}
+	for _, k := range allKinds() {
+		if s := EncodedSize(k); s <= 0 || s > MaxEntrySize {
+			t.Errorf("%v: size %d out of range", k, s)
+		}
+	}
+	if EncodedSize(KindInvalid) != 0 || EncodedSize(kindMax) != 0 {
+		t.Errorf("invalid kinds should have size 0")
+	}
+}
+
+func TestEntryDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeEntry(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, _, err := DecodeEntry(make([]byte, 3)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	bad := AppendEntry(nil, Entry{Kind: KindLink, TS: 1})
+	bad[0] = byte(kindMax)
+	if _, _, err := DecodeEntry(bad); err == nil {
+		t.Error("invalid kind should fail")
+	}
+	trunc := AppendEntry(nil, Entry{Kind: KindLink, TS: 1})
+	if _, _, err := DecodeEntry(trunc[:len(trunc)-1]); err == nil {
+		t.Error("truncated entry should fail")
+	}
+}
+
+// TestEntryStreamQuick round-trips random entry streams.
+func TestEntryStreamQuick(t *testing.T) {
+	kinds := allKinds()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		var entries []Entry
+		var buf []byte
+		for i := 0; i < count; i++ {
+			e := canonical(Entry{
+				Kind:  kinds[rng.Intn(len(kinds))],
+				ARU:   ARUID(rng.Uint64()),
+				TS:    rng.Uint64(),
+				Block: BlockID(rng.Uint64()),
+				List:  ListID(rng.Uint64()),
+				Pred:  BlockID(rng.Uint64()),
+				Slot:  rng.Uint32(),
+			})
+			entries = append(entries, e)
+			buf = AppendEntry(buf, e)
+		}
+		got, err := DecodeEntries(buf, count)
+		if err != nil {
+			return false
+		}
+		for i := range entries {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCommit.String() != "commit" || KindWrite.String() != "write" {
+		t.Errorf("kind names wrong: %v %v", KindCommit, KindWrite)
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind name: %q", got)
+	}
+}
+
+func TestAppendEntryPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendEntry of invalid kind should panic")
+		}
+	}()
+	AppendEntry(nil, Entry{Kind: KindInvalid})
+}
+
+var _ = bytes.Equal // keep bytes import if unused in future edits

@@ -1,0 +1,34 @@
+// Package seg defines the on-disk format of the log-structured logical
+// disk: the identifier spaces, the segment layout (data-block area plus
+// segment summary), the binary encoding of summary entries, the
+// superblock, and the double-buffered table checkpoints.
+//
+// Everything in this package is pure data and codecs; it performs no
+// I/O of its own.
+package seg
+
+// BlockID names a logical disk block. Logical block numbers are the
+// core abstraction of the Logical Disk: clients address blocks by
+// BlockID and never see physical placement. 0 is never a valid block.
+type BlockID uint64
+
+// ListID names a logical block list. Lists express the logical
+// relationship between blocks (e.g. "the blocks of one file") and guide
+// physical clustering. 0 is never a valid list.
+type ListID uint64
+
+// ARUID names an atomic recovery unit. ARU 0 is reserved for the
+// merged/committed stream: summary entries tagged with ARU 0 are
+// committed the moment they are appended (simple operations and
+// entries emitted during commit replay).
+type ARUID uint64
+
+// NilBlock is the zero BlockID; it marks "no block" (e.g. the successor
+// of the last block of a list, or an insertion at the head of a list).
+const NilBlock BlockID = 0
+
+// NilList is the zero ListID; it marks "no list".
+const NilList ListID = 0
+
+// SimpleARU tags operations of the merged stream (outside any ARU).
+const SimpleARU ARUID = 0

@@ -1,0 +1,323 @@
+// Package txn builds full transactions on top of atomic recovery
+// units, demonstrating the layering the paper prescribes: ARUs provide
+// failure atomicity at the disk level, while "full data isolation and
+// mechanisms for durability must be provided by the disk system
+// clients" (§7). A transaction is an ARU plus strict two-phase locking
+// (serializability) plus an optional flush at commit (durability) —
+// the light-weight path §3 contrasts with mapping transactions onto
+// file-system semantics.
+//
+// Deadlocks are avoided with the classic wait-die policy: an older
+// transaction waits for a younger lock holder, a younger one aborts
+// with ErrAborted and should retry. Locks are block- and
+// list-granularity, shared for reads and exclusive for writes, held
+// until commit or rollback.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aru/internal/core"
+)
+
+// Errors returned by the transaction layer.
+var (
+	// ErrAborted reports that the transaction lost a wait-die conflict
+	// (or was rolled back) and must be retried by the caller.
+	ErrAborted = errors.New("txn: transaction aborted, retry")
+	// ErrDone reports use of a committed or rolled-back transaction.
+	ErrDone = errors.New("txn: transaction already finished")
+)
+
+// resKind discriminates lockable resources.
+type resKind uint8
+
+const (
+	resBlock resKind = iota
+	resList
+)
+
+// resource identifies one lockable object.
+type resource struct {
+	kind resKind
+	id   uint64
+}
+
+func blockRes(b core.BlockID) resource { return resource{resBlock, uint64(b)} }
+func listRes(l core.ListID) resource   { return resource{resList, uint64(l)} }
+
+// lockState is the per-resource lock: either one exclusive holder or
+// any number of shared holders.
+type lockState struct {
+	holders map[uint64]bool // txn ids
+	excl    bool            // holders (exactly one) hold exclusively
+}
+
+// Manager coordinates transactions over one logical disk.
+type Manager struct {
+	d *core.LLD
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	locks  map[resource]*lockState
+	nextID uint64
+}
+
+// NewManager returns a transaction manager for d. All transactions on a
+// disk must go through a single manager (the manager is the lock
+// table); LD operations issued outside it are unsynchronized, exactly
+// as the paper warns.
+func NewManager(d *core.LLD) *Manager {
+	m := &Manager{
+		d:      d,
+		locks:  make(map[resource]*lockState),
+		nextID: 1,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Txn is one transaction: an ARU plus the locks acquired so far.
+type Txn struct {
+	mgr  *Manager
+	aru  core.ARUID
+	id   uint64 // wait-die age: smaller = older = wins conflicts
+	held []resource
+	done bool
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() (*Txn, error) {
+	aru, err := m.d.BeginARU()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+	return &Txn{mgr: m, aru: aru, id: id}, nil
+}
+
+// acquire takes the lock on r (exclusive if excl), blocking while an
+// older transaction holds it incompatibly and dying (ErrAborted, with
+// the whole transaction rolled back) when a younger waiter meets an
+// older holder — wait-die.
+func (t *Txn) acquire(r resource, excl bool) error {
+	m := t.mgr
+	m.mu.Lock()
+	for {
+		ls := m.locks[r]
+		if ls == nil || len(ls.holders) == 0 {
+			m.locks[r] = &lockState{holders: map[uint64]bool{t.id: true}, excl: excl}
+			break
+		}
+		if ls.holders[t.id] {
+			if !excl || ls.excl {
+				break // already compatible
+			}
+			if len(ls.holders) == 1 {
+				ls.excl = true // upgrade S→X as sole holder
+				break
+			}
+		} else if !excl && !ls.excl {
+			ls.holders[t.id] = true // share
+			break
+		}
+		// Incompatible. Wait-die: die if any current holder is older.
+		for holder := range ls.holders {
+			if holder < t.id && holder != t.id {
+				m.mu.Unlock()
+				_ = t.Rollback()
+				return fmt.Errorf("%w: lock conflict on %v", ErrAborted, r)
+			}
+		}
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+	t.held = append(t.held, r)
+	return nil
+}
+
+// release drops every lock the transaction holds.
+func (t *Txn) release() {
+	m := t.mgr
+	m.mu.Lock()
+	for _, r := range t.held {
+		if ls := m.locks[r]; ls != nil {
+			delete(ls.holders, t.id)
+			if len(ls.holders) == 0 {
+				delete(m.locks, r)
+			}
+		}
+	}
+	t.held = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (t *Txn) check() error {
+	if t.done {
+		return ErrDone
+	}
+	return nil
+}
+
+// Read reads block b under a shared lock; within the transaction the
+// ARU's shadow version is visible (read-your-writes).
+func (t *Txn) Read(b core.BlockID, dst []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.acquire(blockRes(b), false); err != nil {
+		return err
+	}
+	return t.mgr.d.Read(t.aru, b, dst)
+}
+
+// Write writes block b under an exclusive lock.
+func (t *Txn) Write(b core.BlockID, data []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.acquire(blockRes(b), true); err != nil {
+		return err
+	}
+	return t.mgr.d.Write(t.aru, b, data)
+}
+
+// NewBlock allocates a block in list lst after pred, locking the list
+// exclusively (list structure changes).
+func (t *Txn) NewBlock(lst core.ListID, pred core.BlockID) (core.BlockID, error) {
+	if err := t.check(); err != nil {
+		return core.NilBlock, err
+	}
+	if err := t.acquire(listRes(lst), true); err != nil {
+		return core.NilBlock, err
+	}
+	b, err := t.mgr.d.NewBlock(t.aru, lst, pred)
+	if err != nil {
+		return core.NilBlock, err
+	}
+	// The fresh block belongs to this transaction until commit.
+	if err := t.acquire(blockRes(b), true); err != nil {
+		return core.NilBlock, err
+	}
+	return b, nil
+}
+
+// NewList allocates a list owned exclusively by the transaction until
+// commit.
+func (t *Txn) NewList() (core.ListID, error) {
+	if err := t.check(); err != nil {
+		return core.NilList, err
+	}
+	l, err := t.mgr.d.NewList(t.aru)
+	if err != nil {
+		return core.NilList, err
+	}
+	if err := t.acquire(listRes(l), true); err != nil {
+		return core.NilList, err
+	}
+	return l, nil
+}
+
+// DeleteBlock removes block b (exclusive locks on the block and its
+// list).
+func (t *Txn) DeleteBlock(b core.BlockID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.acquire(blockRes(b), true); err != nil {
+		return err
+	}
+	info, err := t.mgr.d.StatBlock(t.aru, b)
+	if err != nil {
+		return err
+	}
+	if info.List != core.NilList {
+		if err := t.acquire(listRes(info.List), true); err != nil {
+			return err
+		}
+	}
+	return t.mgr.d.DeleteBlock(t.aru, b)
+}
+
+// DeleteList removes list lst and its members (exclusive list lock).
+func (t *Txn) DeleteList(lst core.ListID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.acquire(listRes(lst), true); err != nil {
+		return err
+	}
+	return t.mgr.d.DeleteList(t.aru, lst)
+}
+
+// ListBlocks enumerates lst under a shared lock.
+func (t *Txn) ListBlocks(lst core.ListID) ([]core.BlockID, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	if err := t.acquire(listRes(lst), false); err != nil {
+		return nil, err
+	}
+	return t.mgr.d.ListBlocks(t.aru, lst)
+}
+
+// Commit ends the ARU (atomicity) and releases all locks; with durable
+// set it also flushes (durability). Strict two-phase locking plus
+// commit-time ARU serialization yields serializable histories.
+func (t *Txn) Commit(durable bool) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	var err error
+	if durable {
+		err = t.mgr.d.CommitDurable(t.aru)
+	} else {
+		err = t.mgr.d.EndARU(t.aru)
+	}
+	t.release()
+	return err
+}
+
+// Rollback aborts the ARU and releases all locks. Identifiers the
+// transaction allocated remain allocated until the consistency sweep,
+// exactly as for a crashed ARU.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	err := t.mgr.d.AbortARU(t.aru)
+	t.release()
+	return err
+}
+
+// Run executes fn inside a transaction, retrying wait-die aborts until
+// fn either succeeds (then commits) or fails (then rolls back). fn must
+// be idempotent across retries.
+func (m *Manager) Run(durable bool, fn func(t *Txn) error) error {
+	for {
+		t, err := m.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(t)
+		if err == nil {
+			err = t.Commit(durable)
+		}
+		if err == nil {
+			return nil
+		}
+		_ = t.Rollback()
+		if errors.Is(err, ErrAborted) {
+			continue // wait-die victim: retry
+		}
+		return err
+	}
+}

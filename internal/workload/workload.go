@@ -1,0 +1,129 @@
+// Package workload generates the deterministic workloads of the
+// paper's evaluation (§5.2): the small-file population (10,000 1-KByte
+// and 1,000 10-KByte files), the large-file phase sequence
+// (write1/read1/write2/read2/read3 over a 78.125 MB file), the empty
+// ARU begin/end stress, and randomized operation streams for property
+// tests. All generators are seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SmallFiles describes a small-file benchmark population. Files are
+// spread over subdirectories so directory scans stay linear in the
+// per-directory population, as in Minix.
+type SmallFiles struct {
+	NumFiles int
+	FileSize int
+	Dirs     int // number of subdirectories (default ~sqrt(NumFiles))
+}
+
+// PaperSmall1K is the 10,000 × 1 KB population from Figure 5.
+func PaperSmall1K() SmallFiles { return SmallFiles{NumFiles: 10000, FileSize: 1024, Dirs: 100} }
+
+// PaperSmall10K is the 1,000 × 10 KB population from Figure 5.
+func PaperSmall10K() SmallFiles { return SmallFiles{NumFiles: 1000, FileSize: 10240, Dirs: 32} }
+
+// Scale returns a copy with NumFiles scaled by 1/f (at least 1 file),
+// for quick runs.
+func (s SmallFiles) Scale(f int) SmallFiles {
+	if f <= 1 {
+		return s
+	}
+	s.NumFiles = max(1, s.NumFiles/f)
+	s.Dirs = max(1, s.Dirs/f)
+	return s
+}
+
+// DirName returns the path of subdirectory d.
+func (s SmallFiles) DirName(d int) string { return fmt.Sprintf("/d%03d", d) }
+
+// FileName returns the path of file i.
+func (s SmallFiles) FileName(i int) string {
+	dirs := s.Dirs
+	if dirs <= 0 {
+		dirs = 1
+	}
+	return fmt.Sprintf("%s/f%06d", s.DirName(i%dirs), i)
+}
+
+// NumDirs returns the effective directory count.
+func (s SmallFiles) NumDirs() int {
+	if s.Dirs <= 0 {
+		return 1
+	}
+	return s.Dirs
+}
+
+// Payload fills buf with the deterministic contents of file i.
+func (s SmallFiles) Payload(i int, buf []byte) {
+	pattern := byte(i*131 + 17)
+	for j := range buf {
+		buf[j] = pattern + byte(j)
+	}
+}
+
+// LargeFile describes the large-file benchmark: one file of TotalBytes
+// accessed in IOSize units.
+type LargeFile struct {
+	TotalBytes int64
+	IOSize     int
+	Seed       int64
+}
+
+// PaperLarge is the 78.125 MB file from Figure 6, accessed in 4 KB
+// units.
+func PaperLarge() LargeFile {
+	return LargeFile{TotalBytes: 78125 * 1024, IOSize: 4096, Seed: 1996}
+}
+
+// Scale returns a copy with TotalBytes scaled by 1/f.
+func (l LargeFile) Scale(f int) LargeFile {
+	if f > 1 {
+		l.TotalBytes /= int64(f)
+		if l.TotalBytes < int64(l.IOSize) {
+			l.TotalBytes = int64(l.IOSize)
+		}
+	}
+	return l
+}
+
+// NumIOs returns the number of IOSize units covering the file.
+func (l LargeFile) NumIOs() int {
+	return int((l.TotalBytes + int64(l.IOSize) - 1) / int64(l.IOSize))
+}
+
+// WriteOrder returns the deterministic permutation used by the write2
+// phase ("the file is then written in random order").
+func (l LargeFile) WriteOrder() []int {
+	rng := rand.New(rand.NewSource(l.Seed))
+	return rng.Perm(l.NumIOs())
+}
+
+// ReadOrder returns the deterministic permutation used by the read2
+// phase ("read in random order"). It is independent of WriteOrder: a
+// log-structured disk lays write2's blocks out in write order, so
+// re-using the same permutation would make the "random" reads
+// physically sequential.
+func (l LargeFile) ReadOrder() []int {
+	rng := rand.New(rand.NewSource(l.Seed + 1))
+	return rng.Perm(l.NumIOs())
+}
+
+// Payload fills buf with the contents of unit i at generation gen
+// (write1 uses gen 0, write2 gen 1, so the phases are distinguishable).
+func (l LargeFile) Payload(i, gen int, buf []byte) {
+	pattern := byte(i*37+gen*101) | 1
+	for j := range buf {
+		buf[j] = pattern ^ byte(j)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

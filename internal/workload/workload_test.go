@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperPopulations(t *testing.T) {
+	s1 := PaperSmall1K()
+	if s1.NumFiles != 10000 || s1.FileSize != 1024 {
+		t.Fatalf("PaperSmall1K = %+v", s1)
+	}
+	s10 := PaperSmall10K()
+	if s10.NumFiles != 1000 || s10.FileSize != 10240 {
+		t.Fatalf("PaperSmall10K = %+v", s10)
+	}
+	lf := PaperLarge()
+	if lf.TotalBytes != 78125*1024 { // 78.125 MB
+		t.Fatalf("PaperLarge = %+v", lf)
+	}
+	if lf.IOSize != 4096 {
+		t.Fatalf("PaperLarge I/O size = %d", lf.IOSize)
+	}
+}
+
+func TestSmallFilesNaming(t *testing.T) {
+	s := PaperSmall1K()
+	seen := make(map[string]bool, s.NumFiles)
+	for i := 0; i < s.NumFiles; i++ {
+		name := s.FileName(i)
+		if seen[name] {
+			t.Fatalf("duplicate file name %q", name)
+		}
+		seen[name] = true
+		if !strings.HasPrefix(name, s.DirName(i%s.NumDirs())+"/") {
+			t.Fatalf("file %d not in its directory: %q", i, name)
+		}
+	}
+}
+
+func TestSmallFilesScale(t *testing.T) {
+	s := PaperSmall1K().Scale(10)
+	if s.NumFiles != 1000 || s.Dirs != 10 {
+		t.Fatalf("scaled = %+v", s)
+	}
+	if got := PaperSmall10K().Scale(10000); got.NumFiles < 1 || got.Dirs < 1 {
+		t.Fatalf("overscaled to zero: %+v", got)
+	}
+	if got := PaperSmall1K().Scale(1); got != PaperSmall1K() {
+		t.Fatalf("Scale(1) changed the spec")
+	}
+}
+
+func TestPayloadDeterministicAndDistinct(t *testing.T) {
+	s := PaperSmall1K()
+	a1 := make([]byte, 64)
+	a2 := make([]byte, 64)
+	s.Payload(7, a1)
+	s.Payload(7, a2)
+	if string(a1) != string(a2) {
+		t.Fatal("payload not deterministic")
+	}
+	s.Payload(8, a2)
+	if string(a1) == string(a2) {
+		t.Fatal("adjacent files share payloads")
+	}
+}
+
+func TestLargeFileOrders(t *testing.T) {
+	lf := PaperLarge().Scale(100)
+	n := lf.NumIOs()
+	checkPerm := func(p []int, name string) {
+		if len(p) != n {
+			t.Fatalf("%s has %d elements, want %d", name, len(p), n)
+		}
+		seen := make([]bool, n)
+		for _, x := range p {
+			if x < 0 || x >= n || seen[x] {
+				t.Fatalf("%s is not a permutation", name)
+			}
+			seen[x] = true
+		}
+	}
+	w := lf.WriteOrder()
+	r := lf.ReadOrder()
+	checkPerm(w, "WriteOrder")
+	checkPerm(r, "ReadOrder")
+	// The two orders must be genuinely different, or "random reads"
+	// would be physically sequential on a log-structured disk.
+	same := 0
+	for i := range w {
+		if w[i] == r[i] {
+			same++
+		}
+	}
+	if same > n/4 {
+		t.Fatalf("write and read orders nearly identical (%d/%d fixed points)", same, n)
+	}
+	// And deterministic.
+	w2 := lf.WriteOrder()
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("WriteOrder not deterministic")
+		}
+	}
+}
+
+func TestLargeFileScaleAndPayload(t *testing.T) {
+	lf := PaperLarge().Scale(1000000)
+	if lf.TotalBytes < int64(lf.IOSize) {
+		t.Fatalf("overscaled below one I/O: %+v", lf)
+	}
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	PaperLarge().Payload(3, 0, a)
+	PaperLarge().Payload(3, 1, b)
+	if string(a) == string(b) {
+		t.Fatal("write1 and write2 payloads indistinguishable")
+	}
+}

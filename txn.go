@@ -1,0 +1,29 @@
+package aru
+
+import (
+	"aru/internal/txn"
+)
+
+// TxnManager coordinates full transactions — ARUs plus strict
+// two-phase locking (isolation) plus optional flush-on-commit
+// (durability) — the client layering the paper prescribes in §7. See
+// aru/internal/txn.
+type TxnManager = txn.Manager
+
+// Txn is one transaction.
+type Txn = txn.Txn
+
+// Transaction errors, re-exported for errors.Is tests.
+var (
+	// ErrTxnAborted reports a wait-die conflict; retry the transaction
+	// (TxnManager.Run does this automatically).
+	ErrTxnAborted = txn.ErrAborted
+	// ErrTxnDone reports use of a finished transaction.
+	ErrTxnDone = txn.ErrDone
+)
+
+// NewTxnManager returns a transaction manager for d. All transactional
+// access to a disk must share one manager (it is the lock table).
+func NewTxnManager(d *Disk) *TxnManager {
+	return txn.NewManager(d)
+}
