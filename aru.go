@@ -57,7 +57,10 @@ const (
 )
 
 // Disk re-exports the LLD engine. All methods are safe for concurrent
-// use; see aru/internal/core.LLD.
+// use; read-only operations (Read, ListBlocks, StatBlock, Stats, …)
+// hold only a shared read lock and run in parallel with each other,
+// while mutating operations serialize behind the write lock. See
+// aru/internal/core.LLD and DESIGN.md's "Concurrency" section.
 type Disk = core.LLD
 
 // Params configures Format and Open; see aru/internal/core.Params.

@@ -91,7 +91,7 @@ func (d *LLD) BeginARU() (ARUID, error) {
 	id := d.nextARU
 	d.nextARU++
 	d.arus[id] = &aruState{id: id}
-	d.stats.ARUsBegun++
+	d.stats.ARUsBegun.Add(1)
 	return id, nil
 }
 
@@ -127,7 +127,7 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
 	d.ungate(st, cts)
 	delete(d.arus, aru)
-	d.stats.ARUsCommitted++
+	d.stats.ARUsCommitted.Add(1)
 	d.maybeMaintain()
 	return nil
 }
@@ -161,7 +161,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 			// The block vanished from the committed state (deleted by
 			// a racing client); the paper leaves such races to client
 			// locking. Drop the data.
-			d.stats.MergeFallbacks++
+			d.stats.MergeFallbacks.Add(1)
 			continue
 		}
 		if ab.data != nil {
@@ -178,7 +178,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 
 	// Re-execute the list-operation log in the committed state.
 	for _, op := range st.linkLog {
-		d.stats.ListOpsReplayed++
+		d.stats.ListOpsReplayed.Add(1)
 		var err error
 		switch op.kind {
 		case opInsert:
@@ -190,7 +190,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 		case opUnlinkOnly:
 			rec, ok := d.viewBlock(op.block, seg.SimpleARU)
 			if !ok || rec.List == NilList {
-				d.stats.MergeFallbacks++
+				d.stats.MergeFallbacks.Add(1)
 			} else {
 				err = d.unlinkIn(gate, rec.List, op.block)
 			}
@@ -215,7 +215,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 	d.ungate(st, cts)
 	d.discardShadow(st)
 	delete(d.arus, aru)
-	d.stats.ARUsCommitted++
+	d.stats.ARUsCommitted.Add(1)
 	d.maybeMaintain()
 	return nil
 }
@@ -289,13 +289,13 @@ func (d *LLD) AbortARU(aru ARUID) error {
 	}
 	d.discardShadow(st)
 	delete(d.arus, aru)
-	d.stats.ARUsAborted++
+	d.stats.ARUsAborted.Add(1)
 	return nil
 }
 
 // ActiveARUs returns the number of currently open ARUs.
 func (d *LLD) ActiveARUs() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.arus)
 }

@@ -58,22 +58,22 @@ func (d *LLD) checkLocked() (int, error) {
 			return 0, fmt.Errorf("lld: consistency sweep of block %d: %w", id, err)
 		}
 	}
-	d.stats.LeakedBlocksFreed += int64(len(leaked))
+	d.stats.LeakedBlocksFreed.Add(int64(len(leaked)))
 	return len(leaked), nil
 }
 
 // FreeSegments returns the number of currently reusable log segments.
 func (d *LLD) FreeSegments() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.reusableCount()
 }
 
 // ListBlocks returns the members of list lst, in order, as seen from
 // the state of aru (SimpleARU for the committed view).
 func (d *LLD) ListBlocks(aru ARUID, lst ListID) ([]BlockID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return nil, ErrClosed
 	}
@@ -103,8 +103,8 @@ func (d *LLD) ListBlocks(aru ARUID, lst ListID) ([]BlockID, error) {
 // Lists returns the identifiers of all lists visible in the state of
 // aru, in ascending order.
 func (d *LLD) Lists(aru ARUID) ([]ListID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return nil, ErrClosed
 	}
@@ -134,8 +134,8 @@ type BlockInfo struct {
 // StatBlock returns the effective record of a block in the state of
 // aru.
 func (d *LLD) StatBlock(aru ARUID, b BlockID) (BlockInfo, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return BlockInfo{}, ErrClosed
 	}
@@ -154,8 +154,8 @@ func (d *LLD) StatBlock(aru ARUID, b BlockID) (BlockInfo, error) {
 // all states (persistent + committed + one per ARU shadow). Exposed for
 // the n+2 bound invariant tests.
 func (d *LLD) VersionCount(b BlockID) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	e, ok := d.blocks[b]
 	if !ok {
 		return 0
@@ -168,8 +168,8 @@ func (d *LLD) VersionCount(b BlockID) int {
 // correct, per-segment live counts match the block map, and pins are
 // non-negative. It is exported for tests and the fsck tool.
 func (d *LLD) VerifyInternal() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	views := []ARUID{seg.SimpleARU}
 	if d.params.Variant == VariantNew {
 		for id := range d.arus {
@@ -233,8 +233,8 @@ type SegmentInfo struct {
 // Segments returns the runtime accounting of every log segment — the
 // utilization view the cleaner decides on.
 func (d *LLD) Segments() []SegmentInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]SegmentInfo, d.params.Layout.NumSegs)
 	for s := range out {
 		out[s] = SegmentInfo{

@@ -64,7 +64,7 @@ func (d *LLD) cleanLocked(target int) int {
 			break
 		}
 		cleaned += relocated
-		d.stats.SegmentsCleaned += int64(relocated)
+		d.stats.SegmentsCleaned.Add(int64(relocated))
 		if d.reusableCount() <= before {
 			// No net space gained: the victims are so full that
 			// relocation consumes as much as it frees. Stop rather
@@ -168,7 +168,7 @@ func (d *LLD) relocateSegment(s int) error {
 		d.setBlockPhys(cb, segIdx, slot, seg.SimpleARU)
 		cb.rec.TS = ts
 		cb.commitTS = ts
-		d.stats.BlocksRelocated++
+		d.stats.BlocksRelocated.Add(1)
 	}
 	return nil
 }

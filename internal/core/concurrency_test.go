@@ -193,3 +193,337 @@ func TestConcurrentReadersAndWriter(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestStressReadersVsCommittingARUs hammers the read path with many
+// reader goroutines while several clients commit (and occasionally
+// abort) ARUs against their own blocks, with flushes mixed in. Readers
+// exercise every read-lock entry point — Read, ListBlocks, StatBlock,
+// Stats, FreeSegments, Segments, VerifyInternal — and check that no
+// block is ever observed torn (half old, half new pattern). Run under
+// -race this is the gate for the RWMutex read-path discipline.
+func TestStressReadersVsCommittingARUs(t *testing.T) {
+	d, _ := newTestLLD(t, Params{Layout: testLayout(512)})
+
+	const (
+		writers        = 4
+		readers        = 6
+		blocksPerOwner = 6
+	)
+	rounds := 60
+	if testing.Short() {
+		rounds = 20 // still plenty of lock traffic for the race detector
+	}
+	lists := make([]ListID, writers)
+	blocks := make([][]BlockID, writers)
+	for w := range lists {
+		lst, err := d.NewList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lists[w] = lst
+		for j := 0; j < blocksPerOwner; j++ {
+			b, err := d.NewBlock(0, lst, NilBlock)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Write(0, b, fill(d, byte(w))); err != nil {
+				t.Fatal(err)
+			}
+			blocks[w] = append(blocks[w], b)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wWg, rWg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wWg.Add(1)
+		go func(w int) {
+			defer wWg.Done()
+			for r := 0; r < rounds; r++ {
+				a, err := d.BeginARU()
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				pat := byte(w*50 + r%50)
+				for _, b := range blocks[w] {
+					if err := d.Write(a, b, fill(d, pat)); err != nil {
+						errs <- fmt.Errorf("writer %d: %w", w, err)
+						return
+					}
+				}
+				// Churn allocation too: a block that lives for exactly
+				// one unit.
+				nb, err := d.NewBlock(a, lists[w], NilBlock)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if err := d.DeleteBlock(a, nb); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if r%7 == 6 {
+					err = d.AbortARU(a)
+				} else {
+					err = d.EndARU(a)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if r%15 == 14 {
+					if err := d.Flush(); err != nil {
+						errs <- fmt.Errorf("writer %d: flush: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		rWg.Add(1)
+		go func(rd int) {
+			defer rWg.Done()
+			buf := make([]byte, d.BlockSize())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := (rd + i) % writers
+				b := blocks[w][i%blocksPerOwner]
+				if err := d.Read(0, b, buf); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", rd, err)
+					return
+				}
+				first := buf[0]
+				for _, x := range buf {
+					if x != first {
+						errs <- fmt.Errorf("reader %d: torn read of block %d: %#x vs %#x", rd, b, first, x)
+						return
+					}
+				}
+				switch i % 5 {
+				case 0:
+					if _, err := d.ListBlocks(0, lists[w]); err != nil {
+						errs <- fmt.Errorf("reader %d: ListBlocks: %w", rd, err)
+						return
+					}
+				case 1:
+					if _, err := d.StatBlock(0, b); err != nil {
+						errs <- fmt.Errorf("reader %d: StatBlock: %w", rd, err)
+						return
+					}
+				case 2:
+					st := d.Stats()
+					if st.CoalescedWrites > st.Writes {
+						errs <- fmt.Errorf("reader %d: incoherent stats: %d coalesced > %d writes", rd, st.CoalescedWrites, st.Writes)
+						return
+					}
+				case 3:
+					d.FreeSegments()
+					d.Segments()
+				case 4:
+					if i%50 == 4 {
+						if err := d.VerifyInternal(); err != nil {
+							errs <- fmt.Errorf("reader %d: %w", rd, err)
+							return
+						}
+					}
+				}
+			}
+		}(rd)
+	}
+
+	// Writers drive the test length; readers spin until they are done
+	// (or a reader fails, which also surfaces via errs after the drain).
+	wWg.Wait()
+	close(stop)
+	rWg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.VerifyInternal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CheckDisk(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimpleReadSeesCommittedDuringARU is the deterministic visibility
+// test for the paper's read-semantics option 3 (the prototype default):
+// while an ARU rewrites a block, a concurrent *simple* read must keep
+// observing the committed version; the shadow version becomes visible
+// to simple reads only after EndARU. The reader runs in its own
+// goroutine, interleaved with the writer through channels, so every
+// read provably overlaps an open ARU that has already rewritten the
+// block.
+func TestSimpleReadSeesCommittedDuringARU(t *testing.T) {
+	d, _ := newTestLLD(t, Params{Layout: testLayout(64)})
+	lst, _ := d.NewList(0)
+	b, _ := d.NewBlock(0, lst, NilBlock)
+	const committedPat, shadowPat = 0xAA, 0xBB
+	if err := d.Write(0, b, fill(d, committedPat)); err != nil {
+		t.Fatal(err)
+	}
+
+	readNow := make(chan struct{})
+	readDone := make(chan error)
+	go func() {
+		buf := make([]byte, d.BlockSize())
+		for range readNow {
+			err := d.Read(0, b, buf) // simple read: committed view
+			if err == nil && buf[0] != committedPat {
+				err = fmt.Errorf("simple read saw %#x, want committed %#x", buf[0], committedPat)
+			}
+			if err == nil {
+				for _, x := range buf {
+					if x != buf[0] {
+						err = fmt.Errorf("torn simple read: %#x vs %#x", buf[0], x)
+						break
+					}
+				}
+			}
+			readDone <- err
+		}
+	}()
+
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the block several times inside the ARU; after each write
+	// the concurrent simple read must still see the committed pattern.
+	for i := 0; i < 5; i++ {
+		if err := d.Write(a, b, fill(d, shadowPat)); err != nil {
+			t.Fatal(err)
+		}
+		readNow <- struct{}{}
+		if err := <-readDone; err != nil {
+			t.Fatalf("during ARU (write %d): %v", i, err)
+		}
+		// The ARU's own view must see its shadow version the whole time.
+		buf := make([]byte, d.BlockSize())
+		if err := d.Read(a, b, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != shadowPat {
+			t.Fatalf("ARU read saw %#x, want shadow %#x", buf[0], shadowPat)
+		}
+	}
+	close(readNow)
+	if err := d.EndARU(a); err != nil {
+		t.Fatal(err)
+	}
+	// After commit the shadow version is the committed version.
+	buf := make([]byte, d.BlockSize())
+	if err := d.Read(0, b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != shadowPat {
+		t.Fatalf("post-commit simple read saw %#x, want %#x", buf[0], shadowPat)
+	}
+}
+
+// TestStatsSnapshotCoherence checks the documented coherence of the
+// Stats snapshot under concurrency: snapshots taken while readers and
+// committing writers run never tear (every cumulative counter is
+// monotone across successive snapshots) and never observe a mutating
+// operation half-counted (within-operation invariants hold in every
+// snapshot). The final quiescent snapshot must account for exactly the
+// work performed.
+func TestStatsSnapshotCoherence(t *testing.T) {
+	d, _ := newTestLLD(t, Params{Layout: testLayout(256)})
+	lst, _ := d.NewList(0)
+	b, _ := d.NewBlock(0, lst, NilBlock)
+	if err := d.Write(0, b, fill(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 150
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // committing writer
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			a, err := d.BeginARU()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.Write(a, b, fill(d, byte(r))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.EndARU(a); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // reader keeps the read-side counters moving
+		defer wg.Done()
+		buf := make([]byte, d.BlockSize())
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := d.Read(0, b, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var prev Stats
+	for i := 0; i < 500; i++ {
+		st := d.Stats()
+		// Monotonicity: cumulative counters never go backwards.
+		if st.Reads < prev.Reads || st.Writes < prev.Writes ||
+			st.ARUsBegun < prev.ARUsBegun || st.ARUsCommitted < prev.ARUsCommitted ||
+			st.EntriesLogged < prev.EntriesLogged || st.ShadowCreated < prev.ShadowCreated {
+			t.Fatalf("snapshot %d went backwards: %+v then %+v", i, prev, st)
+		}
+		// Within-operation coherence: writers are excluded while the
+		// snapshot is taken, so compound operations are never observed
+		// half-counted.
+		if st.CoalescedWrites > st.Writes {
+			t.Fatalf("snapshot %d: CoalescedWrites %d > Writes %d", i, st.CoalescedWrites, st.Writes)
+		}
+		if st.ARUsCommitted+st.ARUsAborted > st.ARUsBegun {
+			t.Fatalf("snapshot %d: %d committed + %d aborted > %d begun", i, st.ARUsCommitted, st.ARUsAborted, st.ARUsBegun)
+		}
+		if st.ShadowRecords > st.AltRecords {
+			t.Fatalf("snapshot %d: ShadowRecords %d > AltRecords %d", i, st.ShadowRecords, st.AltRecords)
+		}
+		prev = st
+	}
+	close(stop)
+	wg.Wait()
+
+	st := d.Stats()
+	if st.ARUsBegun != rounds || st.ARUsCommitted != rounds {
+		t.Fatalf("quiescent snapshot lost units: begun %d committed %d, want %d", st.ARUsBegun, st.ARUsCommitted, rounds)
+	}
+	if st.Writes != rounds+1 { // one committed-state write plus one per ARU
+		t.Fatalf("quiescent snapshot lost writes: %d, want %d", st.Writes, rounds+1)
+	}
+}

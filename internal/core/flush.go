@@ -98,7 +98,7 @@ func (d *LLD) checkpointLocked() error {
 	d.ckptTS = ck.CkptTS
 	d.ckptSeq = ck.FlushedSeq
 	d.segsSinceC = 0
-	d.stats.Checkpoints++
+	d.stats.Checkpoints.Add(1)
 	return nil
 }
 
@@ -126,17 +126,25 @@ func (d *LLD) Close() error {
 }
 
 // Stats returns a snapshot of the operation counters.
+//
+// The snapshot is coherent with respect to every mutating operation:
+// Stats holds the read lock, writers hold the write lock, so no commit,
+// flush, clean or recovery is ever observed half-counted. Counters that
+// advance on the read path itself (Reads, CacheHits, CacheMisses) are
+// maintained with atomic increments by concurrent readers; each is read
+// atomically — never torn — and is monotone across snapshots, but may
+// already include reads that started after this call did.
 func (d *LLD) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats.snapshot()
 }
 
 // Params returns the configuration the instance runs with (layout as
 // read from the superblock for opened disks).
 func (d *LLD) Params() Params {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.params
 }
 

@@ -27,10 +27,15 @@
 //
 // # Concurrency
 //
-// All exported methods are safe for concurrent use. As in the paper,
-// the disk system performs no concurrency control between clients:
-// two ARUs may update the same block and the commit order decides.
-// Clients that need isolation must lock above the LD interface.
+// All exported methods are safe for concurrent use. Read-only
+// operations (Read, ListBlocks, Lists, StatBlock, Stats, Segments and
+// friends) hold only a shared read lock and proceed in parallel with
+// each other — including simple reads of the committed state next to
+// intra-ARU shadow reads — while mutating operations serialize behind
+// the write lock. As in the paper, the disk system performs no
+// concurrency control between clients: two ARUs may update the same
+// block and the commit order decides. Clients that need isolation must
+// lock above the LD interface.
 package core
 
 import (
@@ -220,10 +225,17 @@ type LLD struct {
 	params Params
 	dev    disk.Disk
 
-	mu sync.Mutex
+	// mu guards all engine state below. Mutating operations take the
+	// write lock; read-only operations (Read, ListBlocks, Lists,
+	// StatBlock, Stats, Segments, …) take the read lock and therefore
+	// run in parallel with each other. Under the read lock the only
+	// things a reader may touch that are not immutable-while-shared are
+	// the atomic stats counters and the internally locked block cache.
+	// See DESIGN.md, "Concurrency".
+	mu sync.RWMutex
 	// Everything below is guarded by mu.
 	closed bool
-	stats  Stats
+	stats  lldStats
 
 	ts      uint64 // logical clock: timestamp of the next operation
 	nextBlk BlockID

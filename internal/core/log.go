@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sort"
+	"sync"
 
 	"aru/internal/seg"
 )
@@ -60,7 +61,7 @@ func (d *LLD) appendEntry(e seg.Entry) error {
 		return err
 	}
 	d.builder.AddEntry(e)
-	d.stats.EntriesLogged++
+	d.stats.EntriesLogged.Add(1)
 	return nil
 }
 
@@ -81,7 +82,7 @@ func (d *LLD) appendBlockWrite(aru ARUID, ts uint64, id BlockID, lst ListID, dat
 		List:  lst,
 		Slot:  slot,
 	})
-	d.stats.EntriesLogged++
+	d.stats.EntriesLogged.Add(1)
 	return uint32(d.curSeg), slot, nil
 }
 
@@ -129,15 +130,15 @@ func (d *LLD) materializeCommitted() {
 			Block: it.ab.id,
 			Slot:  slot,
 		})
-		d.stats.EntriesLogged++
-		d.stats.BlocksMaterialized++
+		d.stats.EntriesLogged.Add(1)
+		d.stats.BlocksMaterialized.Add(1)
 		if d.cache != nil {
 			// The data is in hand; future reads of the new location
 			// must not pay a disk access for contents we just wrote.
 			d.cache.put(uint32(d.curSeg), slot, it.data)
 		}
 		if it.prev {
-			d.stats.PrevVersionsEmitted++
+			d.stats.PrevVersionsEmitted.Add(1)
 			d.dropPrevData(it.ab)
 		} else {
 			d.setBlockPhys(it.ab, uint32(d.curSeg), slot, it.tag)
@@ -162,7 +163,7 @@ func (d *LLD) writeCurSeg() error {
 	d.materializeCommitted()
 	for _, e := range d.pendingCommits {
 		d.builder.AddEntry(e)
-		d.stats.EntriesLogged++
+		d.stats.EntriesLogged.Add(1)
 	}
 	d.pendingCommits = d.pendingCommits[:0]
 	if d.builder.Empty() {
@@ -174,7 +175,7 @@ func (d *LLD) writeCurSeg() error {
 	}
 	d.segSeq[d.curSeg] = d.nextSeq
 	d.nextSeq++
-	d.stats.SegmentsWritten++
+	d.stats.SegmentsWritten.Add(1)
 	d.segsSinceC++
 	d.durableTS = d.lastTS()
 	d.promote()
@@ -295,7 +296,7 @@ func (d *LLD) promote() {
 // promoteBlock installs ab as the persistent version of its block (or
 // removes the persistent version if ab is a deletion) and retires ab.
 func (d *LLD) promoteBlock(ab *altBlock) {
-	d.stats.RecordsPromoted++
+	d.stats.RecordsPromoted.Add(1)
 	e := d.blocks[ab.id]
 	if e.persist != nil && e.persist.HasData {
 		d.segLive[e.persist.Seg]--
@@ -317,7 +318,7 @@ func (d *LLD) promoteBlock(ab *altBlock) {
 
 // promoteList installs al as the persistent version of its list.
 func (d *LLD) promoteList(al *altList) {
-	d.stats.RecordsPromoted++
+	d.stats.RecordsPromoted.Add(1)
 	e := d.lists[al.id]
 	if al.deleted {
 		e.persist = nil
@@ -341,10 +342,10 @@ func (d *LLD) readPhys(segIdx, slot uint32, dst []byte) error {
 	}
 	if d.cache != nil {
 		if d.cache.get(segIdx, slot, dst) {
-			d.stats.CacheHits++
+			d.stats.CacheHits.Add(1)
 			return nil
 		}
-		d.stats.CacheMisses++
+		d.stats.CacheMisses.Add(1)
 	}
 	bs := int64(d.params.Layout.BlockSize)
 	off := d.params.Layout.SegOff(int(segIdx)) + int64(slot)*bs
@@ -362,8 +363,25 @@ type physKey struct {
 	seg, slot uint32
 }
 
-// blockCache is a small LRU cache of persistent block contents.
+// cacheShards is the stripe count of the block cache. A small power of
+// two: enough that concurrent readers rarely collide on one stripe,
+// small enough that the per-stripe LRUs stay a useful size.
+const cacheShards = 8
+
+// blockCache is a striped LRU cache of persistent block contents.
+//
+// It is the one mutable structure the read path touches while holding
+// only the engine's read lock (an LRU mutates on every hit), so it
+// carries its own locking: entries hash across cacheShards
+// independently locked LRUs, and two readers contend only when their
+// blocks land on the same stripe. Writers (materialization, segment
+// reuse) use the same stripe locks.
 type blockCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used; values are *cacheEnt
 	byKey map[physKey]*list.Element
@@ -378,50 +396,72 @@ func newBlockCache(capBlocks int) *blockCache {
 	if capBlocks <= 0 {
 		return nil
 	}
-	return &blockCache{
-		cap:   capBlocks,
-		order: list.New(),
-		byKey: make(map[physKey]*list.Element, capBlocks),
+	per := (capBlocks + cacheShards - 1) / cacheShards
+	c := &blockCache{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = per
+		sh.order = list.New()
+		sh.byKey = make(map[physKey]*list.Element, per)
 	}
+	return c
+}
+
+// shard maps a physical location onto its stripe. Fibonacci hashing
+// spreads the low, strongly patterned seg/slot bits.
+func (c *blockCache) shard(k physKey) *cacheShard {
+	h := (k.seg*0x9e3779b9 + k.slot) * 0x9e3779b9
+	return &c.shards[h>>29] // top 3 bits index the 8 stripes
 }
 
 func (c *blockCache) get(segIdx, slot uint32, dst []byte) bool {
-	el, ok := c.byKey[physKey{segIdx, slot}]
+	sh := c.shard(physKey{segIdx, slot})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byKey[physKey{segIdx, slot}]
 	if !ok {
 		return false
 	}
-	c.order.MoveToFront(el)
+	sh.order.MoveToFront(el)
 	copy(dst, el.Value.(*cacheEnt).data)
 	return true
 }
 
 func (c *blockCache) put(segIdx, slot uint32, data []byte) {
 	k := physKey{segIdx, slot}
-	if el, ok := c.byKey[k]; ok {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[k]; ok {
 		copy(el.Value.(*cacheEnt).data, data)
-		c.order.MoveToFront(el)
+		sh.order.MoveToFront(el)
 		return
 	}
-	for c.order.Len() >= c.cap {
-		last := c.order.Back()
-		delete(c.byKey, last.Value.(*cacheEnt).key)
-		c.order.Remove(last)
+	for sh.order.Len() >= sh.cap {
+		last := sh.order.Back()
+		delete(sh.byKey, last.Value.(*cacheEnt).key)
+		sh.order.Remove(last)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	c.byKey[k] = c.order.PushFront(&cacheEnt{key: k, data: cp})
+	sh.byKey[k] = sh.order.PushFront(&cacheEnt{key: k, data: cp})
 }
 
 // purgeSeg drops all cached blocks of one segment (called when the
 // segment is about to be rewritten with new contents).
 func (c *blockCache) purgeSeg(segIdx uint32) {
-	for el := c.order.Front(); el != nil; {
-		next := el.Next()
-		ent := el.Value.(*cacheEnt)
-		if ent.key.seg == segIdx {
-			delete(c.byKey, ent.key)
-			c.order.Remove(el)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; {
+			next := el.Next()
+			ent := el.Value.(*cacheEnt)
+			if ent.key.seg == segIdx {
+				delete(sh.byKey, ent.key)
+				sh.order.Remove(el)
+			}
+			el = next
 		}
-		el = next
+		sh.mu.Unlock()
 	}
 }

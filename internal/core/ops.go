@@ -10,9 +10,13 @@ import (
 // (SimpleARU reads the committed state), into dst. dst must be exactly
 // one block long. An allocated block that has never been written reads
 // as zeroes.
+// Read holds only the read lock: concurrent reads — simple or inside
+// an ARU — proceed in parallel. Everything it touches is stable while
+// the read lock is held, except the stats counters (atomic) and the
+// block cache (internally locked).
 func (d *LLD) Read(aru ARUID, b BlockID, dst []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -23,7 +27,7 @@ func (d *LLD) Read(aru ARUID, b BlockID, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	d.stats.Reads++
+	d.stats.Reads.Add(1)
 	view, anyShadow := d.readViewFor(m)
 	if anyShadow {
 		return d.readAnyShadow(b, dst)
@@ -123,7 +127,7 @@ func (d *LLD) Write(aru ARUID, b BlockID, data []byte) error {
 		// stream, or both to the same still-open unit).
 		copy(wb.data, data)
 		wb.wtag = m.tag
-		d.stats.CoalescedWrites++
+		d.stats.CoalescedWrites.Add(1)
 	} else {
 		buf := make([]byte, len(data))
 		copy(buf, data)
@@ -131,7 +135,7 @@ func (d *LLD) Write(aru ARUID, b BlockID, data []byte) error {
 	}
 	wb.rec.TS = ts
 	m.touchBlock(wb, ts)
-	d.stats.Writes++
+	d.stats.Writes.Add(1)
 	return nil
 }
 
@@ -173,7 +177,7 @@ func (d *LLD) NewBlock(aru ARUID, lst ListID, pred BlockID) (BlockID, error) {
 	d.blocks[id] = e
 	cb := d.newCommBlock(e, id, seg.BlockRec{ID: id, TS: ts})
 	cb.commitTS = ts
-	d.stats.NewBlocks++
+	d.stats.NewBlocks.Add(1)
 
 	if m.st != nil {
 		m.st.linkLog = append(m.st.linkLog, listOp{kind: opInsert, list: lst, block: id, pred: pred})
@@ -213,7 +217,7 @@ func (d *LLD) NewList(aru ARUID) (ListID, error) {
 	d.lists[id] = e
 	cl := d.newCommList(e, id, seg.ListRec{ID: id})
 	cl.commitTS = ts
-	d.stats.NewLists++
+	d.stats.NewLists.Add(1)
 	return id, nil
 }
 
@@ -272,14 +276,14 @@ func (d *LLD) insertIn(m mode, lst ListID, id BlockID, pred BlockID, strict bool
 		if strict {
 			return fmt.Errorf("%w: %d", ErrNoSuchList, lst)
 		}
-		d.stats.MergeFallbacks++
+		d.stats.MergeFallbacks.Add(1)
 		return nil
 	}
 	if _, ok := d.viewBlock(id, m.view); !ok {
 		if strict {
 			return fmt.Errorf("%w: %d", ErrNoSuchBlock, id)
 		}
-		d.stats.MergeFallbacks++
+		d.stats.MergeFallbacks.Add(1)
 		return nil
 	}
 	effPred := pred
@@ -290,7 +294,7 @@ func (d *LLD) insertIn(m mode, lst ListID, id BlockID, pred BlockID, strict bool
 				return fmt.Errorf("%w: pred %d in list %d", ErrNotMember, pred, lst)
 			}
 			effPred = NilBlock
-			d.stats.MergeFallbacks++
+			d.stats.MergeFallbacks.Add(1)
 		}
 	}
 	ts := d.tick()
@@ -353,7 +357,7 @@ func (d *LLD) unlinkIn(m mode, lst ListID, b BlockID) error {
 		}
 		pred = cur
 		cur = crec.Succ
-		d.stats.PredecessorSearchSteps++
+		d.stats.PredecessorSearchSteps.Add(1)
 	}
 	if cur == NilBlock {
 		return fmt.Errorf("%w: block %d in list %d", ErrNotMember, b, lst)
@@ -404,7 +408,7 @@ func (d *LLD) deleteBlockIn(m mode, b BlockID, strict bool) error {
 		if strict {
 			return fmt.Errorf("%w: %d", ErrNoSuchBlock, b)
 		}
-		d.stats.MergeFallbacks++
+		d.stats.MergeFallbacks.Add(1)
 		return nil
 	}
 	if rec.List != NilList {
@@ -425,7 +429,7 @@ func (d *LLD) deleteBlockIn(m mode, b BlockID, strict bool) error {
 	}
 	d.markBlockDeleted(wb, m.tracked != nil)
 	m.touchBlock(wb, ts)
-	d.stats.DeleteBlocks++
+	d.stats.DeleteBlocks.Add(1)
 	return nil
 }
 
@@ -436,7 +440,7 @@ func (d *LLD) deleteListIn(m mode, lst ListID, strict bool) error {
 		if strict {
 			return fmt.Errorf("%w: %d", ErrNoSuchList, lst)
 		}
-		d.stats.MergeFallbacks++
+		d.stats.MergeFallbacks.Add(1)
 		return nil
 	}
 	for {
@@ -471,7 +475,7 @@ func (d *LLD) deleteListIn(m mode, lst ListID, strict bool) error {
 		}
 		d.markBlockDeleted(wb, m.tracked != nil)
 		m.touchBlock(wb, ts)
-		d.stats.DeleteBlocks++
+		d.stats.DeleteBlocks.Add(1)
 	}
 	ts := d.tick()
 	if m.st == nil {
@@ -487,7 +491,7 @@ func (d *LLD) deleteListIn(m mode, lst ListID, strict bool) error {
 	wl.deleted = true
 	wl.rec = seg.ListRec{ID: lst}
 	m.touchList(wl, ts)
-	d.stats.DeleteLists++
+	d.stats.DeleteLists.Add(1)
 	return nil
 }
 

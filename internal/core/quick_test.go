@@ -160,6 +160,9 @@ func runScript(t *testing.T, d *LLD, ops []scriptOp, useARU bool) {
 // logical disk contents (DESIGN.md invariant 7) — the concurrency
 // machinery must be semantically invisible when unused.
 func TestQuickOldNewEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping property-based test in -short mode")
+	}
 	f := func(seed int64) bool {
 		ops := genScript(seed, 160)
 		states := make([]diskState, 0, 2)
@@ -191,6 +194,9 @@ func TestQuickOldNewEquivalence(t *testing.T) {
 // reproduces the exact same state (log + checkpoint reconstruct the
 // tables).
 func TestQuickRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping property-based test in -short mode")
+	}
 	f := func(seed int64, useARU bool) bool {
 		ops := genScript(seed, 200)
 		p := Params{Layout: testLayout(96), CheckpointEvery: 4}
@@ -223,6 +229,9 @@ func TestQuickRecoveryEquivalence(t *testing.T) {
 // random write count; recovery must always succeed and pass the
 // internal verifier, and a second recovery must agree with the first.
 func TestQuickCrashedRecoveryConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping property-based test in -short mode")
+	}
 	f := func(seed int64, crashAt uint16, torn uint8) bool {
 		ops := genScript(seed, 250)
 		p := Params{Layout: testLayout(96), CheckpointEvery: 4}

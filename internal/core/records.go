@@ -351,9 +351,9 @@ func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data
 	st.shadowBlocks = ab
 	ab.nextID = e.altHead
 	e.altHead = ab
-	d.stats.ShadowRecords++
-	d.stats.AltRecords++
-	d.stats.ShadowCreated++
+	d.stats.ShadowRecords.Add(1)
+	d.stats.AltRecords.Add(1)
+	d.stats.ShadowCreated.Add(1)
 	return ab
 }
 
@@ -364,9 +364,9 @@ func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altLis
 	st.shadowLists = al
 	al.nextID = e.altHead
 	e.altHead = al
-	d.stats.ShadowRecords++
-	d.stats.AltRecords++
-	d.stats.ShadowCreated++
+	d.stats.ShadowRecords.Add(1)
+	d.stats.AltRecords.Add(1)
+	d.stats.ShadowCreated.Add(1)
 	return al
 }
 
@@ -381,8 +381,8 @@ func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBloc
 	d.commBlocks = ab
 	ab.nextID = e.altHead
 	e.altHead = ab
-	d.stats.AltRecords++
-	d.stats.CommittedCreated++
+	d.stats.AltRecords.Add(1)
+	d.stats.CommittedCreated.Add(1)
 	return ab
 }
 
@@ -393,8 +393,8 @@ func (d *LLD) newCommList(e *listEntry, id ListID, rec seg.ListRec) *altList {
 	d.commLists = al
 	al.nextID = e.altHead
 	e.altHead = al
-	d.stats.AltRecords++
-	d.stats.CommittedCreated++
+	d.stats.AltRecords.Add(1)
+	d.stats.CommittedCreated.Add(1)
 	return al
 }
 
@@ -486,18 +486,18 @@ func (d *LLD) dropAltBlock(e *blockEntry, ab *altBlock) {
 		d.unpinSeg(ab.rec.Seg)
 	}
 	e.removeAlt(ab)
-	d.stats.AltRecords--
+	d.stats.AltRecords.Add(-1)
 	if ab.aru != seg.SimpleARU {
-		d.stats.ShadowRecords--
+		d.stats.ShadowRecords.Add(-1)
 	}
 }
 
 // dropAltList removes al from the same-ID chain of e.
 func (d *LLD) dropAltList(e *listEntry, al *altList) {
 	e.removeAlt(al)
-	d.stats.AltRecords--
+	d.stats.AltRecords.Add(-1)
 	if al.aru != seg.SimpleARU {
-		d.stats.ShadowRecords--
+		d.stats.ShadowRecords.Add(-1)
 	}
 }
 

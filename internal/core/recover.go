@@ -166,9 +166,9 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	rpt.SegmentsReplayed = len(replay)
 	rpt.ARUsRecovered = rt.committed
 	rpt.ARUsDropped = len(rt.pending)
-	d.stats.RecoveredEntries = int64(rpt.EntriesReplayed)
-	d.stats.RecoveredARUs = int64(rpt.ARUsRecovered)
-	d.stats.DroppedARUs = int64(rpt.ARUsDropped)
+	d.stats.RecoveredEntries.Store(int64(rpt.EntriesReplayed))
+	d.stats.RecoveredARUs.Store(int64(rpt.ARUsRecovered))
+	d.stats.DroppedARUs.Store(int64(rpt.ARUsDropped))
 
 	// Install reconstructed tables.
 	for id, rec := range rt.blocks {

@@ -151,6 +151,6 @@ func (d *LLD) MoveBlock(aru ARUID, b BlockID, lst ListID, pred BlockID) error {
 			return err
 		}
 	}
-	d.stats.MovesExecuted++
+	d.stats.MovesExecuted.Add(1)
 	return d.insertIn(m, lst, b, pred, true)
 }

@@ -14,6 +14,9 @@ import (
 // sequence continuity, identifier continuation and leak sweeping are
 // exercised across recoveries — not just once.
 func TestSoakMultiGenerationCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping soak test in -short mode")
+	}
 	layout := testLayout(128)
 	rng := rand.New(rand.NewSource(19960527))
 
