@@ -29,6 +29,7 @@ package aru
 import (
 	"aru/internal/core"
 	"aru/internal/disk"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -110,11 +111,64 @@ const (
 	CleanCostBenefit = core.CleanCostBenefit
 )
 
-// Stats are the operation counters of a Disk.
+// Stats are the operation counters of a Disk, as returned by
+// (*Disk).Stats.
+//
+// Every snapshot is coherent with respect to mutating operations:
+// Stats acquires the disk's read lock while writers hold the write
+// lock, so no commit, flush, clean or recovery is ever observed
+// half-counted. The read-path counters (Reads, CacheHits, CacheMisses)
+// are maintained with atomic increments by concurrent readers; each is
+// read atomically — never torn — and is monotone across snapshots, but
+// may already include reads that started after the Stats call did.
 type Stats = core.Stats
 
 // RecoveryReport summarizes what Open reconstructed after a crash.
 type RecoveryReport = core.RecoveryReport
+
+// Observability types, re-exported from aru/internal/obs. Attach a
+// Tracer via Params.Tracer to collect per-operation latency histograms
+// and a bounded in-memory event timeline; read them back through
+// (*Disk).Metrics and (*Disk).TraceEvents, or serve them over HTTP
+// with ServeMetrics. A nil Tracer (the default) reduces the whole
+// subsystem to one pointer check per operation.
+type (
+	// Tracer collects events and latency histograms; see
+	// aru/internal/obs.Tracer.
+	Tracer = obs.Tracer
+	// TracerConfig parameterizes NewTracer.
+	TracerConfig = obs.Config
+	// Event is one entry of the trace timeline.
+	Event = obs.Event
+	// EventKind discriminates trace events.
+	EventKind = obs.EventKind
+	// HistSnapshot is a point-in-time copy of one latency histogram.
+	HistSnapshot = obs.HistSnapshot
+	// Counter is one named monotone counter for metrics exposition.
+	Counter = obs.Counter
+	// MetricsOptions configures ServeMetrics.
+	MetricsOptions = obs.HandlerOptions
+)
+
+// NewTracer returns a Tracer ready to pass as Params.Tracer. One
+// Tracer may be shared by several Disk instances (successive
+// generations of the same logical disk, say) to accumulate histograms
+// across them.
+func NewTracer(c TracerConfig) *Tracer { return obs.New(c) }
+
+// ServeMetrics starts an HTTP listener on addr exposing Prometheus
+// text metrics on /metrics, expvar on /debug/vars and pprof under
+// /debug/pprof/. See aru/internal/obs.ServeMetrics.
+var ServeMetrics = obs.ServeMetrics
+
+// StatsCounters flattens a Stats snapshot into the counter list the
+// metrics handler exports; use it as MetricsOptions.Counters:
+//
+//	opts := aru.MetricsOptions{
+//		Counters: func() []aru.Counter { return aru.StatsCounters(d.Stats()) },
+//		Tracer:   tracer,
+//	}
+func StatsCounters(s Stats) []Counter { return obs.FlattenCounters(s) }
 
 // Errors of the LD interface, re-exported for errors.Is tests.
 var (

@@ -566,3 +566,100 @@ func BenchmarkCoalescing(b *testing.B) {
 	b.ReportMetric(coalesced/writes*100, "coalesced_%")
 	b.ReportMetric(materialized/writes, "log_slots/write")
 }
+
+// benchDiskTraced is benchDisk with a Tracer attached, for measuring
+// the enabled-path overhead of the observability layer.
+func benchDiskTraced(b *testing.B, numSegs int) *aru.Disk {
+	b.Helper()
+	layout := aru.DefaultLayout(numSegs)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout, Tracer: aru.NewTracer(aru.TracerConfig{})})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkParallelReadTraced is BenchmarkParallelRead with tracing
+// enabled: the read path pays one histogram observation and one ring
+// emit per call. Compare against BenchmarkParallelRead for the
+// enabled-path overhead; the disabled path costs only a nil check.
+func BenchmarkParallelReadTraced(b *testing.B) {
+	d := benchDiskTraced(b, 64)
+	lst, _ := d.NewList(aru.Simple)
+	const nBlocks = 512
+	blks := make([]aru.BlockID, nBlocks)
+	buf := make([]byte, d.BlockSize())
+	for i := range blks {
+		blk, err := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := d.Write(aru.Simple, blk, buf); err != nil {
+			b.Fatal(err)
+		}
+		blks[i] = blk
+	}
+	if err := d.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.BlockSize()))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, d.BlockSize())
+		i := 0
+		for pb.Next() {
+			if err := d.Read(aru.Simple, blks[i%nBlocks], dst); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkMixedARUWorkloadTraced is BenchmarkMixedARUWorkload with
+// tracing enabled.
+func BenchmarkMixedARUWorkloadTraced(b *testing.B) {
+	d := benchDiskTraced(b, 256)
+	lst, _ := d.NewList(aru.Simple)
+	const nBlocks = 256
+	blks := make([]aru.BlockID, nBlocks)
+	buf := make([]byte, d.BlockSize())
+	for i := range blks {
+		blk, err := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Write(aru.Simple, blk, buf); err != nil {
+			b.Fatal(err)
+		}
+		blks[i] = blk
+	}
+	if err := d.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, d.BlockSize())
+		i := 0
+		for pb.Next() {
+			if i%16 == 15 {
+				a, err := d.BeginARU()
+				if err != nil {
+					b.Fatal(err)
+				}
+				dst[0] = byte(i)
+				if err := d.Write(a, blks[i%nBlocks], dst); err != nil {
+					b.Fatal(err)
+				}
+				if err := d.EndARU(a); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := d.Read(aru.Simple, blks[(i*7)%nBlocks], dst); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	aru-bench [-exp all|table1|fig5|fig6|arulat] [-scale N] [-verify]
+//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent] [-scale N]
+//	          [-verify] [-csv] [-json out.json] [-metrics-addr :6060]
 //
 // -scale N divides the workload sizes by N for quick runs; the paper's
-// full scale is -scale 1 (the default).
+// full scale is -scale 1 (the default). -json writes a machine-readable
+// report ("-" = stdout) including latency-histogram percentiles.
+// -metrics-addr serves /metrics (Prometheus text), /debug/vars and
+// /debug/pprof while the experiments run.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"aru/internal/harness"
+	"aru/internal/obs"
 )
 
 func main() {
@@ -23,9 +28,22 @@ func main() {
 	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
 	verify := flag.Bool("verify", false, "verify payloads during read phases")
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
+	jsonOut := flag.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
-	o := harness.Options{Scale: *scale, Verify: *verify}
+	tracer := obs.New(obs.Config{})
+	o := harness.Options{Scale: *scale, Verify: *verify, Tracer: tracer}
+	if *metricsAddr != "" {
+		_, addr, err := obs.ServeMetrics(*metricsAddr, obs.HandlerOptions{Tracer: tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aru-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aru-bench: metrics on http://%s/metrics\n", addr)
+	}
+
+	report := harness.Report{Scale: *scale}
 	start := time.Now()
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -51,6 +69,7 @@ func main() {
 		} else {
 			fmt.Println(harness.FormatFig5(res))
 		}
+		report.AddFig5(res)
 		return nil
 	})
 	run("fig6", func() error {
@@ -63,6 +82,7 @@ func main() {
 		} else {
 			fmt.Println(harness.FormatFig6(res))
 		}
+		report.AddFig6(res)
 		return nil
 	})
 	run("arulat", func() error {
@@ -71,6 +91,7 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatARULat(res))
+		report.AddARULat(res)
 		return nil
 	})
 	run("concurrent", func() error {
@@ -80,7 +101,19 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatConcurrent(res))
+		report.AddConcurrent(res)
 		return nil
 	})
+
+	if lat := harness.FormatLatencies(tracer.Histograms()); lat != "" && !*csv {
+		fmt.Println(lat)
+	}
+	if *jsonOut != "" {
+		report.Histograms = harness.SummarizeHistograms(tracer.Histograms())
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aru-bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("(wall time %v, scale 1/%d)\n", time.Since(start).Round(time.Millisecond), *scale)
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	aru-inspect [-seg N] [-max M] [-tables] image.lld
+//	aru-inspect [-seg N] [-max M] [-tables] [-stats] image.lld
+//
+// -stats recovers the image in memory with a tracer attached and
+// prints the recovery report, the full operation-counter snapshot and
+// the traced recovery timeline.
 package main
 
 import (
@@ -20,9 +24,10 @@ func main() {
 	segIdx := flag.Int("seg", -1, "dump summary entries of this segment")
 	maxEnt := flag.Int("max", 64, "maximum entries to print per segment")
 	tables := flag.Bool("tables", false, "run recovery and print the reconstructed lists")
+	stats := flag.Bool("stats", false, "run recovery and print counters, recovery report and timeline")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: aru-inspect [-seg N] [-max M] [-tables] image.lld")
+		fmt.Fprintln(os.Stderr, "usage: aru-inspect [-seg N] [-max M] [-tables] [-stats] image.lld")
 		os.Exit(2)
 	}
 	img, err := os.ReadFile(flag.Arg(0))
@@ -86,6 +91,9 @@ func main() {
 	if *tables {
 		printTables(img)
 	}
+	if *stats {
+		printStats(img)
+	}
 }
 
 func fatal(err error) {
@@ -123,5 +131,36 @@ func printTables(img []byte) {
 			fmt.Printf("  %v%s", blocks[:max], trunc)
 		}
 		fmt.Println()
+	}
+}
+
+// printStats recovers the image in memory with a tracer attached and
+// prints the recovery report, the counter snapshot and the recovery
+// timeline the tracer captured.
+func printStats(img []byte) {
+	tracer := aru.NewTracer(aru.TracerConfig{})
+	dev := aru.NewMemDevice(int64(len(img))).Reopen(img)
+	d, rpt, err := aru.OpenReport(dev, aru.Params{Tracer: tracer})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recovery report: %+v\n", rpt)
+	fmt.Println("stats:")
+	for _, c := range aru.StatsCounters(d.Stats()) {
+		fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+	}
+	if hists := d.Metrics(); len(hists) > 0 {
+		fmt.Println("latency:")
+		for _, h := range hists {
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %s\n", h)
+		}
+	}
+	evs := d.TraceEvents()
+	fmt.Printf("recovery timeline: %d events\n", len(evs))
+	for _, e := range evs {
+		fmt.Printf("  %12v %-14s aru=%-4d %d %d\n", e.TS, e.Kind, e.ARU, e.Arg1, e.Arg2)
 	}
 }

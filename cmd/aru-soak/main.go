@@ -7,9 +7,14 @@
 // Usage:
 //
 //	aru-soak [-gens N] [-seed S] [-segs N] [-variant old|new]
+//	         [-metrics-addr :6060]
 //
-// A failing soak prints the generation, seed and crash point needed to
-// reproduce it deterministically.
+// -metrics-addr serves live observability while the soak runs:
+// /metrics (Prometheus text: operation counters plus latency
+// histograms accumulated across all generations, including recovery
+// latency), /debug/vars (expvar) and /debug/pprof. A failing soak
+// prints the generation, seed and crash point needed to reproduce it
+// deterministically.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"aru"
@@ -28,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1996, "PRNG seed (runs are deterministic per seed)")
 	segs := flag.Int("segs", 96, "log segments (0.5 MB each)")
 	variantName := flag.String("variant", "new", "LLD build: new (concurrent ARUs) or old (sequential)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
 	variant := aru.VariantNew
@@ -44,10 +51,32 @@ func main() {
 	layout := aru.DefaultLayout(*segs)
 	start := time.Now()
 
+	// One tracer shared by every generation, so histograms (including
+	// recovery latency) accumulate across the whole soak. current
+	// tracks the live disk so /metrics scrapes fresh counters.
+	tracer := aru.NewTracer(aru.TracerConfig{})
+	var current atomic.Pointer[aru.Disk]
+	if *metricsAddr != "" {
+		_, addr, err := aru.ServeMetrics(*metricsAddr, aru.MetricsOptions{
+			Counters: func() []aru.Counter {
+				d := current.Load()
+				if d == nil {
+					return nil
+				}
+				return aru.StatsCounters(d.Stats())
+			},
+			Tracer: tracer,
+		})
+		if err != nil {
+			fatal(0, 0, err)
+		}
+		fmt.Fprintf(os.Stderr, "aru-soak: metrics on http://%s/metrics\n", addr)
+	}
+
 	// Fresh formatted image.
 	img := func() []byte {
 		dev := aru.NewMemDevice(layout.DiskBytes())
-		d, err := aru.Format(dev, aru.Params{Layout: layout, Variant: variant, CheckpointEvery: 4})
+		d, err := aru.Format(dev, aru.Params{Layout: layout, Variant: variant, CheckpointEvery: 4, Tracer: tracer})
 		if err != nil {
 			fatal(0, 0, err)
 		}
@@ -65,10 +94,11 @@ func main() {
 		crashAt := dev.Stats().Writes + int64(rng.Intn(60)+1)
 		dev.SetFaultPlan(aru.FaultPlan{CrashAfterWrites: crashAt, TornSectors: rng.Intn(9) - 1})
 
-		d, err := aru.Open(dev, aru.Params{CheckpointEvery: 4})
+		d, err := aru.Open(dev, aru.Params{CheckpointEvery: 4, Tracer: tracer})
 		if err != nil {
 			fatal(gen, crashAt, fmt.Errorf("recovery: %w", err))
 		}
+		current.Store(d)
 		if err := d.VerifyInternal(); err != nil {
 			fatal(gen, crashAt, err)
 		}

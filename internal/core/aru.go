@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -92,6 +93,7 @@ func (d *LLD) BeginARU() (ARUID, error) {
 	d.nextARU++
 	d.arus[id] = &aruState{id: id}
 	d.stats.ARUsBegun.Add(1)
+	d.obs.Emit(obs.EvARUBegin, uint64(id), 0, 0)
 	return id, nil
 }
 
@@ -125,9 +127,11 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
 	}
 	cts := d.tick()
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
+	d.stampCommit(aru)
 	d.ungate(st, cts)
 	delete(d.arus, aru)
 	d.stats.ARUsCommitted.Add(1)
+	d.obs.Emit(obs.EvARUCommit, uint64(aru), 0, 0)
 	d.maybeMaintain()
 	return nil
 }
@@ -210,12 +214,15 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 	if err := d.ensureRoom(0, 1); err != nil {
 		return err
 	}
+	replayed := uint64(len(st.linkLog))
 	cts := d.tick()
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
+	d.stampCommit(aru)
 	d.ungate(st, cts)
 	d.discardShadow(st)
 	delete(d.arus, aru)
 	d.stats.ARUsCommitted.Add(1)
+	d.obs.Emit(obs.EvARUCommit, uint64(aru), replayed, 0)
 	d.maybeMaintain()
 	return nil
 }
@@ -290,6 +297,7 @@ func (d *LLD) AbortARU(aru ARUID) error {
 	d.discardShadow(st)
 	delete(d.arus, aru)
 	d.stats.ARUsAborted.Add(1)
+	d.obs.Emit(obs.EvARUAbort, uint64(aru), 0, 0)
 	return nil
 }
 

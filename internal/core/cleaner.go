@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -33,9 +34,16 @@ func (d *LLD) cleanLocked(target int) int {
 	}
 	d.inClean = true
 	defer func() { d.inClean = false }()
+	cleaned := 0
+	if d.obs != nil {
+		t0 := d.obs.Now()
+		defer func() {
+			d.obs.ObserveSince(obs.HistCleanerPass, t0)
+			d.obs.Emit(obs.EvCleanerPass, 0, uint64(cleaned), 0)
+		}()
+	}
 
 	const batch = 8 // victims relocated per flush/checkpoint cycle
-	cleaned := 0
 	for d.reusableCount() < target {
 		before := d.reusableCount()
 		visited := make(map[int]bool)

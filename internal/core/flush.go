@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -27,6 +29,7 @@ func (d *LLD) flushLocked() error {
 	if err := d.dev.Sync(); err != nil {
 		return fmt.Errorf("lld: sync: %w", err)
 	}
+	d.commitsDurable()
 	return nil
 }
 
@@ -51,6 +54,10 @@ func (d *LLD) checkpointLocked() error {
 	if len(d.arus) != 0 {
 		return fmt.Errorf("%w: cannot checkpoint with %d open ARUs", ErrARUActive, len(d.arus))
 	}
+	var t0 time.Duration
+	if d.obs != nil {
+		t0 = d.obs.Now()
+	}
 	// The tables must reflect exactly the flushed log: write out any
 	// partial segment and sync before the checkpoint claims FlushedSeq.
 	// With no open ARUs every committed record has then been promoted,
@@ -61,6 +68,7 @@ func (d *LLD) checkpointLocked() error {
 	if err := d.dev.Sync(); err != nil {
 		return fmt.Errorf("lld: sync before checkpoint: %w", err)
 	}
+	d.commitsDurable()
 	ck := seg.Checkpoint{
 		CkptTS:     d.ckptTS + 1,
 		FlushedSeq: d.nextSeq - 1,
@@ -99,6 +107,10 @@ func (d *LLD) checkpointLocked() error {
 	d.ckptSeq = ck.FlushedSeq
 	d.segsSinceC = 0
 	d.stats.Checkpoints.Add(1)
+	if d.obs != nil {
+		d.obs.ObserveSince(obs.HistCheckpoint, t0)
+		d.obs.Emit(obs.EvCheckpoint, 0, ck.CkptTS, ck.FlushedSeq)
+	}
 	return nil
 }
 

@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"aru/internal/disk"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -142,6 +143,14 @@ type Params struct {
 	// sweep (which frees blocks leaked by uncommitted ARUs) when set
 	// to false via NoAutoCheck.
 	NoAutoCheck bool
+	// Tracer attaches an observability sink (event ring + latency
+	// histograms; see aru/internal/obs). nil — the default — disables
+	// all instrumentation: hot paths then pay a single nil-check. One
+	// Tracer may be shared across instances (e.g. crash/recover
+	// generations accumulate into the same histograms), and embedding
+	// applications can subscribe to engine events by emitting their
+	// own spans into the same Tracer.
+	Tracer *obs.Tracer
 }
 
 func (p Params) withDefaults() Params {
@@ -224,6 +233,17 @@ type Stats struct {
 type LLD struct {
 	params Params
 	dev    disk.Disk
+
+	// obs is the observability sink from Params.Tracer (nil =
+	// disabled). Immutable after construction, so it may be read
+	// without holding mu; the Tracer itself is internally lock-free.
+	obs *obs.Tracer
+
+	// commitStamps records, for each commit record queued by EndARU,
+	// when it was queued; the stamps are drained into the
+	// EndARU-to-durable histogram by the next successful device sync.
+	// Guarded by mu; only populated when obs is non-nil.
+	commitStamps []commitStamp
 
 	// mu guards all engine state below. Mutating operations take the
 	// write lock; read-only operations (Read, ListBlocks, Lists,

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -169,9 +171,17 @@ func (d *LLD) writeCurSeg() error {
 	if d.builder.Empty() {
 		return nil
 	}
+	var t0 time.Duration
+	if d.obs != nil {
+		t0 = d.obs.Now()
+	}
 	img := d.builder.Seal(d.nextSeq)
 	if err := d.dev.WriteAt(img, d.params.Layout.SegOff(d.curSeg)); err != nil {
 		return fmt.Errorf("lld: writing segment %d: %w", d.curSeg, err)
+	}
+	if d.obs != nil {
+		d.obs.ObserveSince(obs.HistSegFlush, t0)
+		d.obs.Emit(obs.EvSegFlush, 0, uint64(d.curSeg), d.nextSeq)
 	}
 	d.segSeq[d.curSeg] = d.nextSeq
 	d.nextSeq++

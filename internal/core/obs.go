@@ -1,0 +1,56 @@
+package core
+
+import (
+	"time"
+
+	"aru/internal/obs"
+)
+
+// commitStamp remembers when EndARU queued one ARU's commit record,
+// so the next device sync can attribute the full EndARU-to-durable
+// latency to that ARU.
+type commitStamp struct {
+	aru ARUID
+	t0  time.Duration // Tracer.Now at EndARU
+}
+
+// Tracer returns the observability sink attached via Params.Tracer,
+// or nil when the instance runs uninstrumented. Embedding layers (the
+// Minix file system, the transaction layer) use it to emit their own
+// spans into the same timeline as the engine's events.
+func (d *LLD) Tracer() *obs.Tracer { return d.obs }
+
+// Metrics returns point-in-time snapshots of the latency histograms
+// (read, write, commit-to-durable, segment flush, recovery,
+// checkpoint, cleaner pass), or nil without a tracer. Like Stats, the
+// snapshot never tears: each histogram cell is read atomically.
+func (d *LLD) Metrics() []obs.HistSnapshot { return d.obs.Histograms() }
+
+// TraceEvents returns the events currently held by the trace ring,
+// oldest surviving first (the ring overwrites from the front when
+// full), or nil without a tracer. Events are totally ordered by Seq.
+func (d *LLD) TraceEvents() []obs.Event { return d.obs.Events() }
+
+// stampCommit records that EndARU just queued aru's commit record.
+// Caller holds d.mu.
+func (d *LLD) stampCommit(aru ARUID) {
+	if d.obs == nil {
+		return
+	}
+	d.commitStamps = append(d.commitStamps, commitStamp{aru: aru, t0: d.obs.Now()})
+}
+
+// commitsDurable observes EndARU-to-durable latency for every commit
+// record queued since the previous successful sync. Called right
+// after d.dev.Sync() succeeds; caller holds d.mu.
+func (d *LLD) commitsDurable() {
+	if d.obs == nil || len(d.commitStamps) == 0 {
+		return
+	}
+	now := d.obs.Now()
+	for _, cs := range d.commitStamps {
+		d.obs.Observe(obs.HistCommitDurable, now-cs.t0)
+		d.obs.Emit(obs.EvCommitDurable, uint64(cs.aru), 0, 0)
+	}
+	d.commitStamps = d.commitStamps[:0]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -12,9 +13,23 @@ import (
 // as zeroes.
 // Read holds only the read lock: concurrent reads — simple or inside
 // an ARU — proceed in parallel. Everything it touches is stable while
-// the read lock is held, except the stats counters (atomic) and the
-// block cache (internally locked).
+// the read lock is held, except the stats counters (atomic), the
+// block cache (internally locked) and the tracer (lock-free).
 func (d *LLD) Read(aru ARUID, b BlockID, dst []byte) error {
+	o := d.obs
+	if o == nil {
+		return d.read(aru, b, dst)
+	}
+	t0 := o.Now()
+	err := d.read(aru, b, dst)
+	if err == nil {
+		o.ObserveSince(obs.HistRead, t0)
+		o.Emit(obs.EvRead, uint64(aru), uint64(b), 0)
+	}
+	return err
+}
+
+func (d *LLD) read(aru ARUID, b BlockID, dst []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.closed {
@@ -87,6 +102,20 @@ func (d *LLD) readView(b BlockID, view ARUID, dst []byte) error {
 // data itself is appended to the log immediately (tagged with the ARU),
 // so commit only needs to log the commit record, never re-copy data.
 func (d *LLD) Write(aru ARUID, b BlockID, data []byte) error {
+	o := d.obs
+	if o == nil {
+		return d.write(aru, b, data)
+	}
+	t0 := o.Now()
+	err := d.write(aru, b, data)
+	if err == nil {
+		o.ObserveSince(obs.HistWrite, t0)
+		o.Emit(obs.EvWrite, uint64(aru), uint64(b), 0)
+	}
+	return err
+}
+
+func (d *LLD) write(aru ARUID, b BlockID, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {

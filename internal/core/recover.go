@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"aru/internal/disk"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -76,6 +78,10 @@ func Open(dev disk.Disk, p Params) (*LLD, error) {
 // OpenReport is Open plus a report of what recovery did.
 func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	p = p.withDefaults()
+	var t0 time.Duration
+	if p.Tracer != nil {
+		t0 = p.Tracer.Now()
+	}
 	sb := make([]byte, seg.SectorSize)
 	if err := dev.ReadAt(sb, 0); err != nil {
 		return nil, RecoveryReport{}, fmt.Errorf("lld: reading superblock: %w", err)
@@ -88,6 +94,7 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 
 	d := &LLD{
 		params:  p,
+		obs:     p.Tracer,
 		dev:     dev,
 		blocks:  make(map[BlockID]*blockEntry),
 		lists:   make(map[ListID]*listEntry),
@@ -159,6 +166,7 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 			rt.apply(e, uint32(ls.idx))
 			rpt.EntriesReplayed++
 		}
+		d.obs.Emit(obs.EvRecoverySeg, 0, uint64(ls.idx), uint64(len(entries)))
 		if ls.tr.Seq > maxSeq {
 			maxSeq = ls.tr.Seq
 		}
@@ -221,6 +229,10 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		} else {
 			rpt.LeakedFreed = freed
 		}
+	}
+	if d.obs != nil {
+		d.obs.ObserveSince(obs.HistRecovery, t0)
+		d.obs.Emit(obs.EvRecoveryDone, 0, uint64(rpt.EntriesReplayed), uint64(rpt.ARUsRecovered))
 	}
 	return d, rpt, nil
 }

@@ -35,6 +35,7 @@ func RunARULatency(spec VariantSpec, n int, o Options) (ARULatencyResult, error)
 		Layout:      o.Layout,
 		Variant:     spec.Variant,
 		CacheBlocks: o.CacheBlocks,
+		Tracer:      o.Tracer,
 	})
 	if err != nil {
 		return ARULatencyResult{}, err

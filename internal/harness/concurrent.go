@@ -42,6 +42,7 @@ func RunConcurrentClients(spec VariantSpec, clientCounts []int, totalARUs int, o
 			Layout:      o.Layout,
 			Variant:     spec.Variant,
 			CacheBlocks: o.CacheBlocks,
+			Tracer:      o.Tracer,
 		})
 		if err != nil {
 			return res, err

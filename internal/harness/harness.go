@@ -22,6 +22,7 @@ import (
 	"aru/internal/core"
 	"aru/internal/disk"
 	"aru/internal/minixfs"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -121,6 +122,10 @@ type Options struct {
 	NumInodes int
 	// Verify re-reads and checks payloads during read phases.
 	Verify bool
+	// Tracer, when non-nil, is attached to every LLD the experiments
+	// build, accumulating latency histograms and trace events across
+	// all runs (see aru/internal/obs).
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -252,6 +257,7 @@ func setup(spec VariantSpec, o Options) (*disk.Sim, *core.LLD, *minixfs.FS, erro
 		Layout:      o.Layout,
 		Variant:     spec.Variant,
 		CacheBlocks: o.CacheBlocks,
+		Tracer:      o.Tracer,
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("harness: format: %w", err)

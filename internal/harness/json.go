@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"aru/internal/obs"
+)
+
+// BenchPhase is one measured phase in machine-readable form.
+type BenchPhase struct {
+	Name      string  `json:"name"`
+	Ops       int64   `json:"ops"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec,omitempty"`
+}
+
+func jsonPhase(p Phase) BenchPhase {
+	bp := BenchPhase{
+		Name:      p.Name,
+		Ops:       p.Ops,
+		Bytes:     p.Bytes,
+		ElapsedNs: p.Elapsed.Nanoseconds(),
+		OpsPerSec: p.PerSec(),
+		MBPerSec:  p.MBPerSec(),
+	}
+	if p.Ops > 0 {
+		bp.NsPerOp = float64(p.Elapsed.Nanoseconds()) / float64(p.Ops)
+	}
+	return bp
+}
+
+// BenchResult groups the phases of one build within one experiment.
+type BenchResult struct {
+	Experiment string       `json:"experiment"`
+	Build      string       `json:"build"`
+	Label      string       `json:"label,omitempty"` // population or client count
+	Phases     []BenchPhase `json:"phases"`
+}
+
+// HistogramSummary is the percentile digest of one latency histogram.
+type HistogramSummary struct {
+	Name   string `json:"name"`
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
+// SummarizeHistograms digests the non-empty histograms of a tracer
+// snapshot into percentile rows.
+func SummarizeHistograms(hists []obs.HistSnapshot) []HistogramSummary {
+	var out []HistogramSummary
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, HistogramSummary{
+			Name:   h.Name,
+			Count:  h.Count,
+			MeanNs: h.Mean().Nanoseconds(),
+			P50Ns:  h.Quantile(0.50).Nanoseconds(),
+			P95Ns:  h.Quantile(0.95).Nanoseconds(),
+			P99Ns:  h.Quantile(0.99).Nanoseconds(),
+		})
+	}
+	return out
+}
+
+// Report is the machine-readable document aru-bench -json writes.
+type Report struct {
+	Scale      int                `json:"scale"`
+	Results    []BenchResult      `json:"results"`
+	Histograms []HistogramSummary `json:"histograms,omitempty"`
+}
+
+// AddFig5 appends the Figure 5 results to the report.
+func (r *Report) AddFig5(res Fig5Result) {
+	add := func(label string, rows []SmallResult) {
+		for _, sr := range rows {
+			r.Results = append(r.Results, BenchResult{
+				Experiment: "fig5",
+				Build:      sr.Spec.Name,
+				Label:      label,
+				Phases: []BenchPhase{
+					jsonPhase(sr.CreateWrite), jsonPhase(sr.Read), jsonPhase(sr.Delete),
+				},
+			})
+		}
+	}
+	add("10000x1KB", res.Small1K)
+	add("1000x10KB", res.Small10K)
+}
+
+// AddFig6 appends the Figure 6 results to the report.
+func (r *Report) AddFig6(res Fig6Result) {
+	for _, lr := range []LargeResult{res.Old, res.New} {
+		br := BenchResult{Experiment: "fig6", Build: lr.Spec.Name}
+		for _, p := range lr.Phases() {
+			br.Phases = append(br.Phases, jsonPhase(p))
+		}
+		r.Results = append(r.Results, br)
+	}
+}
+
+// AddARULat appends the ARU-latency experiment to the report.
+func (r *Report) AddARULat(res ARULatencyResult) {
+	r.Results = append(r.Results, BenchResult{
+		Experiment: "arulat",
+		Build:      res.Spec.Name,
+		Phases:     []BenchPhase{jsonPhase(res.Phase)},
+	})
+}
+
+// AddConcurrent appends the concurrent-clients experiment, one result
+// per client count.
+func (r *Report) AddConcurrent(res ConcurrentResult) {
+	for i, n := range res.Clients {
+		r.Results = append(r.Results, BenchResult{
+			Experiment: "concurrent",
+			Build:      res.Spec.Name,
+			Label:      fmt.Sprintf("%d clients", n),
+			Phases: []BenchPhase{{
+				Name:      "commit",
+				Ops:       res.Commits[i],
+				OpsPerSec: res.PerSec[i],
+			}},
+		})
+	}
+}
+
+// WriteFile writes the report as indented JSON to path ("-" = stdout).
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

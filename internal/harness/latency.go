@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aru/internal/obs"
+)
+
+// FormatLatencies renders the tracer's latency histograms as a text
+// table (count, mean and tail percentiles per operation), suitable for
+// experiment reports. Histograms with no samples are omitted; with no
+// samples at all it returns "".
+func FormatLatencies(hists []obs.HistSnapshot) string {
+	var rows []obs.HistSnapshot
+	for _, h := range hists {
+		if h.Count > 0 {
+			rows = append(rows, h)
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Operation latency (engine-observed, wall clock)\n\n")
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99")
+	for _, h := range rows {
+		fmt.Fprintf(&b, "  %-16s %10d %10s %10s %10s %10s\n",
+			h.Name, h.Count,
+			fmtDur(h.Mean()), fmtDur(h.Quantile(0.50)),
+			fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
+	}
+	b.WriteString("\n  (percentiles are log-bucket upper bounds, <=25% relative error)\n")
+	return b.String()
+}
+
+// fmtDur renders a duration compactly with three significant digits.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3gµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3gms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"aru/internal/core"
+	"aru/internal/obs"
 )
 
 // File is an open handle to a regular file. It caches the file's block
@@ -98,6 +99,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	defer f.fs.span(obs.FSOpWrite)()
 	if off < 0 {
 		return 0, fmt.Errorf("%w: negative offset", ErrBadName)
 	}
@@ -165,6 +167,7 @@ func (f *File) growTo(idx int) error {
 func (f *File) Truncate(size uint64) error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	defer f.fs.span(obs.FSOpTruncate)()
 	if size >= f.in.Size {
 		f.in.Size = size
 		return f.fs.writeInode(0, f.ino, f.in)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aru/internal/core"
+	"aru/internal/obs"
 )
 
 // splitPath normalizes an absolute slash-separated path into its
@@ -134,6 +135,7 @@ func (fs *FS) createNode(path string, mode Mode) (Ino, error) {
 func (fs *FS) Create(path string) (*File, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpCreate)()
 	ino, err := fs.createNode(path, ModeFile)
 	if err != nil {
 		return nil, err
@@ -145,6 +147,7 @@ func (fs *FS) Create(path string) (*File, error) {
 func (fs *FS) Mkdir(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpMkdir)()
 	_, err := fs.createNode(path, ModeDir)
 	return err
 }
@@ -155,6 +158,7 @@ func (fs *FS) Mkdir(path string) error {
 func (fs *FS) Remove(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpRemove)()
 	pIno, pIn, name, err := fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -180,6 +184,7 @@ func (fs *FS) Remove(path string) error {
 func (fs *FS) Rmdir(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpRmdir)()
 	if len(splitPath(path)) == 0 {
 		return fmt.Errorf("%w: cannot remove the root directory", ErrBadName)
 	}
@@ -275,6 +280,7 @@ func (fs *FS) removeNode(pIno Ino, pIn inode, ino Ino, in inode, blk core.BlockI
 func (fs *FS) Link(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpLink)()
 	ino, in, err := fs.resolve(oldPath)
 	if err != nil {
 		return err
@@ -317,6 +323,7 @@ func (fs *FS) Link(oldPath, newPath string) error {
 func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	defer fs.span(obs.FSOpRename)()
 	oldPIno, oldPIn, oldName, err := fs.resolveParent(oldPath)
 	if err != nil {
 		return err

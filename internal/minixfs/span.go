@@ -1,0 +1,23 @@
+package minixfs
+
+import "aru/internal/obs"
+
+// noopSpan is the shared end-of-span closure when tracing is off, so
+// an untraced file system allocates nothing per operation.
+var noopSpan = func() {}
+
+// span brackets one public file-system operation with FSOpBegin/FSOpEnd
+// trace events on the underlying disk's tracer. Usage:
+//
+//	defer fs.span(obs.FSOpCreate)()
+//
+// With no tracer attached (or the event ring disabled) it costs a
+// single nil/flag check and returns the shared no-op closure.
+func (fs *FS) span(op obs.FSOp) func() {
+	t := fs.ld.Tracer()
+	if !t.TraceEnabled() {
+		return noopSpan
+	}
+	t.Emit(obs.EvFSOpBegin, 0, uint64(op), 0)
+	return func() { t.Emit(obs.EvFSOpEnd, 0, uint64(op), 0) }
+}

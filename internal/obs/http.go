@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one named monotone counter for exposition.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// FlattenCounters turns a flat struct of int64 fields (such as
+// core.Stats) into named counters: each exported int64 field becomes
+// snake_case(field name). Non-int64 fields are skipped.
+func FlattenCounters(v any) []Counter {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return nil
+	}
+	rt := rv.Type()
+	out := make([]Counter, 0, rt.NumField())
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		out = append(out, Counter{Name: snakeCase(f.Name), Value: rv.Field(i).Int()})
+	}
+	return out
+}
+
+// snakeCase converts CamelCase to snake_case, breaking only at a
+// lower-or-digit→upper boundary so acronym runs stay whole:
+// "CacheHits" → "cache_hits", "ARUsBegun" → "arus_begun".
+func snakeCase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				prev := s[i-1]
+				if prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9' {
+					b.WriteByte('_')
+				}
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// HandlerOptions configures the /metrics endpoint.
+type HandlerOptions struct {
+	// Namespace prefixes every series name (default "aru").
+	Namespace string
+	// Counters is polled at each scrape for the current counter
+	// values (e.g. func() []Counter { return
+	// obs.FlattenCounters(d.Stats()) }). Optional.
+	Counters func() []Counter
+	// Tracer supplies the latency histograms. Optional.
+	Tracer *Tracer
+}
+
+func (o HandlerOptions) namespace() string {
+	if o.Namespace == "" {
+		return "aru"
+	}
+	return o.Namespace
+}
+
+// Handler returns an http.Handler rendering the counters and
+// histograms in the Prometheus text exposition format: every counter
+// as <ns>_<name>_total and every histogram as the
+// <ns>_<name>_seconds bucket/sum/count triple.
+func Handler(o HandlerOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		ns := o.namespace()
+		if o.Counters != nil {
+			for _, c := range o.Counters() {
+				fmt.Fprintf(w, "# TYPE %s_%s_total counter\n", ns, c.Name)
+				fmt.Fprintf(w, "%s_%s_total %d\n", ns, c.Name, c.Value)
+			}
+		}
+		for _, h := range o.Tracer.Histograms() {
+			writePromHistogram(w, ns, h)
+		}
+	})
+}
+
+// writePromHistogram renders one histogram in Prometheus text format.
+// Buckets become cumulative with `le` bounds in seconds.
+func writePromHistogram(w http.ResponseWriter, ns string, h HistSnapshot) {
+	name := fmt.Sprintf("%s_%s_seconds", ns, h.Name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b.UpperNs)/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNs)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// expvar publication: one process-wide "aru" variable whose value
+// tracks the most recent ServeMetrics/NewMux options. Publish panics
+// on duplicate names, so registration happens once and the options
+// are swapped through an atomic pointer.
+var (
+	expvarOnce sync.Once
+	expvarOpts atomic.Pointer[HandlerOptions]
+)
+
+func publishExpvar(o HandlerOptions) {
+	expvarOpts.Store(&o)
+	expvarOnce.Do(func() {
+		expvar.Publish("aru", expvar.Func(func() any {
+			o := expvarOpts.Load()
+			if o == nil {
+				return nil
+			}
+			v := struct {
+				Counters   []Counter      `json:"counters,omitempty"`
+				Histograms []HistSnapshot `json:"histograms,omitempty"`
+			}{}
+			if o.Counters != nil {
+				v.Counters = o.Counters()
+				sort.Slice(v.Counters, func(i, j int) bool { return v.Counters[i].Name < v.Counters[j].Name })
+			}
+			v.Histograms = o.Tracer.Histograms()
+			return v
+		}))
+	})
+}
+
+// NewMux builds the full observability mux: /metrics (Prometheus
+// text), /debug/vars (expvar, including an "aru" variable mirroring
+// the metrics), and the /debug/pprof suite.
+func NewMux(o HandlerOptions) *http.ServeMux {
+	publishExpvar(o)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(o))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics listens on addr (e.g. ":6060") and serves the
+// observability mux in a background goroutine. It returns the bound
+// address (useful with ":0") and a shutdown-capable server.
+func ServeMetrics(addr string, o HandlerOptions) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(o)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

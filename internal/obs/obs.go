@@ -1,0 +1,307 @@
+// Package obs is the observability layer of the logical disk: a
+// lock-free event tracer (a fixed-size atomic ring of typed events), a
+// set of atomic log-scaled latency histograms, and an exposition layer
+// (Prometheus text, expvar, pprof) for serving both over HTTP.
+//
+// The package is engine-agnostic: internal/core emits into a *Tracer
+// attached via core.Params.Tracer, and embedding applications (the
+// Minix file system, the transaction layer, commands) read the same
+// Tracer back out through core.LLD.Tracer(), Metrics() and
+// TraceEvents().
+//
+// # Hot-path cost
+//
+// With no tracer attached the engine pays a single nil-check per
+// operation. With a tracer attached, recording one event is one
+// atomic ticket increment plus a handful of atomic stores into the
+// claimed ring slot, and one histogram observation is three atomic
+// adds (count, sum, bucket). Nothing on the hot path allocates or
+// takes a lock.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Event kinds. Arg1/Arg2 of an Event are kind-specific; see each
+// constant.
+const (
+	// EvARUBegin: an ARU was opened. ARU = its id.
+	EvARUBegin EventKind = iota + 1
+	// EvARUCommit: an ARU committed (EndARU returned). ARU = its id,
+	// Arg1 = list operations replayed from its log.
+	EvARUCommit
+	// EvARUAbort: an ARU was aborted. ARU = its id.
+	EvARUAbort
+	// EvCommitDurable: a commit record reached stable storage (device
+	// sync). ARU = its id.
+	EvCommitDurable
+	// EvRead: one block read. ARU = issuing ARU (0 = simple), Arg1 =
+	// block id.
+	EvRead
+	// EvWrite: one block write. ARU = issuing ARU, Arg1 = block id.
+	EvWrite
+	// EvSegFlush: one sealed segment was written to the device. Arg1 =
+	// segment index, Arg2 = log sequence number.
+	EvSegFlush
+	// EvCheckpoint: a table checkpoint was written. Arg1 = checkpoint
+	// timestamp, Arg2 = flushed log sequence it covers.
+	EvCheckpoint
+	// EvCleanerPass: one cleaner invocation finished. Arg1 = segments
+	// reclaimed.
+	EvCleanerPass
+	// EvRecoverySeg: recovery replayed one segment. Arg1 = segment
+	// index, Arg2 = summary entries replayed from it.
+	EvRecoverySeg
+	// EvRecoveryDone: recovery finished. Arg1 = total entries
+	// replayed, Arg2 = ARUs whose commit record was durable.
+	EvRecoveryDone
+	// EvFSOpBegin / EvFSOpEnd bracket one file-system-level operation
+	// (a span enclosing the ARUs it issues). Arg1 = FSOp code.
+	EvFSOpBegin
+	EvFSOpEnd
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvARUBegin:
+		return "aru-begin"
+	case EvARUCommit:
+		return "aru-commit"
+	case EvARUAbort:
+		return "aru-abort"
+	case EvCommitDurable:
+		return "commit-durable"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvSegFlush:
+		return "seg-flush"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvCleanerPass:
+		return "cleaner-pass"
+	case EvRecoverySeg:
+		return "recovery-seg"
+	case EvRecoveryDone:
+		return "recovery-done"
+	case EvFSOpBegin:
+		return "fsop-begin"
+	case EvFSOpEnd:
+		return "fsop-end"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// FSOp identifies the file-system-level operation of an EvFSOpBegin /
+// EvFSOpEnd span (carried in Arg1).
+type FSOp uint32
+
+// File-system operations traced by internal/minixfs.
+const (
+	FSOpCreate FSOp = iota + 1
+	FSOpMkdir
+	FSOpRemove
+	FSOpRmdir
+	FSOpLink
+	FSOpRename
+	FSOpTruncate
+	FSOpWrite
+)
+
+// String implements fmt.Stringer.
+func (op FSOp) String() string {
+	switch op {
+	case FSOpCreate:
+		return "create"
+	case FSOpMkdir:
+		return "mkdir"
+	case FSOpRemove:
+		return "remove"
+	case FSOpRmdir:
+		return "rmdir"
+	case FSOpLink:
+		return "link"
+	case FSOpRename:
+		return "rename"
+	case FSOpTruncate:
+		return "truncate"
+	case FSOpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("fsop(%d)", uint32(op))
+	}
+}
+
+// Event is one trace event, drained from the ring.
+type Event struct {
+	// Seq is the global emission ticket: events are totally ordered by
+	// Seq, and a gap between consecutive drained events means the ring
+	// wrapped over the missing ones.
+	Seq uint64
+	// TS is the monotonic emission time, relative to the tracer's
+	// creation.
+	TS time.Duration
+	// Kind discriminates the event; ARU, Arg1 and Arg2 are
+	// kind-specific (see the Ev* constants).
+	Kind EventKind
+	ARU  uint64
+	Arg1 uint64
+	Arg2 uint64
+}
+
+// String renders the event for timelines and debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("%-14s seq=%-8d t=%-12s aru=%-6d arg1=%-6d arg2=%d",
+		e.Kind, e.Seq, e.TS, e.ARU, e.Arg1, e.Arg2)
+}
+
+// HistID names one of the tracer's latency histograms.
+type HistID int
+
+// The tracer's histogram set.
+const (
+	// HistRead: latency of one successful LLD Read.
+	HistRead HistID = iota
+	// HistWrite: latency of one successful LLD Write.
+	HistWrite
+	// HistCommitDurable: EndARU-to-durable — from the moment EndARU
+	// queued the commit record until the device sync that made it
+	// stable.
+	HistCommitDurable
+	// HistSegFlush: sealing and writing one segment to the device.
+	HistSegFlush
+	// HistRecovery: one full crash recovery (Open).
+	HistRecovery
+	// HistCheckpoint: writing one table checkpoint.
+	HistCheckpoint
+	// HistCleanerPass: one cleaner invocation.
+	HistCleanerPass
+
+	numHists
+)
+
+// histName maps HistID to the exposition name (snake_case, unitless;
+// the Prometheus layer appends "_seconds").
+var histName = [numHists]string{
+	HistRead:          "read",
+	HistWrite:         "write",
+	HistCommitDurable: "commit_durable",
+	HistSegFlush:      "segment_flush",
+	HistRecovery:      "recovery",
+	HistCheckpoint:    "checkpoint",
+	HistCleanerPass:   "cleaner_pass",
+}
+
+// String implements fmt.Stringer.
+func (h HistID) String() string {
+	if h >= 0 && h < numHists {
+		return histName[h]
+	}
+	return fmt.Sprintf("hist(%d)", int(h))
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// RingSize is the event-ring capacity, rounded up to a power of
+	// two (default 4096; negative disables event tracing, leaving only
+	// the histograms).
+	RingSize int
+}
+
+// Tracer is one observability sink: the event ring plus the latency
+// histograms. A single Tracer may be shared by several engine
+// instances (e.g. across crash/recover generations); all methods are
+// safe for concurrent use and a nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	start time.Time
+	ring  *ring
+	hists [numHists]Histogram
+}
+
+// New creates a Tracer.
+func New(cfg Config) *Tracer {
+	t := &Tracer{start: time.Now()}
+	if cfg.RingSize >= 0 {
+		n := cfg.RingSize
+		if n == 0 {
+			n = 4096
+		}
+		t.ring = newRing(n)
+	}
+	return t
+}
+
+// Now returns the current monotonic time relative to the tracer's
+// creation — the timebase of Event.TS and of ObserveSince.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// TraceEnabled reports whether the tracer records events (it always
+// maintains histograms).
+func (t *Tracer) TraceEnabled() bool { return t != nil && t.ring != nil }
+
+// Emit records one event. Safe on a nil tracer (no-op).
+func (t *Tracer) Emit(kind EventKind, aru, arg1, arg2 uint64) {
+	if t == nil || t.ring == nil {
+		return
+	}
+	t.ring.emit(int64(time.Since(t.start)), kind, aru, arg1, arg2)
+}
+
+// Observe records one latency sample. Safe on a nil tracer (no-op).
+func (t *Tracer) Observe(h HistID, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.hists[h].Observe(d)
+}
+
+// ObserveSince records the latency from t0 (a value of Now) until now.
+func (t *Tracer) ObserveSince(h HistID, t0 time.Duration) {
+	if t == nil {
+		return
+	}
+	t.hists[h].Observe(time.Since(t.start) - t0)
+}
+
+// Events returns a snapshot of the events currently in the ring,
+// ordered by Seq (oldest surviving first). Events being written at the
+// instant of the snapshot are skipped; they appear in the next one.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.ring == nil {
+		return nil
+	}
+	return t.ring.snapshot()
+}
+
+// Histogram returns a snapshot of one histogram.
+func (t *Tracer) Histogram(h HistID) HistSnapshot {
+	if t == nil || h < 0 || h >= numHists {
+		return HistSnapshot{Name: h.String()}
+	}
+	return t.hists[h].Snapshot(h.String())
+}
+
+// Histograms returns snapshots of every histogram, in HistID order.
+func (t *Tracer) Histograms() []HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	out := make([]HistSnapshot, numHists)
+	for h := HistID(0); h < numHists; h++ {
+		out[h] = t.hists[h].Snapshot(h.String())
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ring is a fixed-size, lock-free, multi-producer event buffer. A
+// writer claims a slot with one atomic ticket increment and fills it
+// with atomic stores; when the ring is full the oldest events are
+// overwritten. Readers (snapshot) never block writers.
+//
+// Each slot carries a per-slot sequence word encoding both the ticket
+// of the event it holds and a write-in-progress bit:
+//
+//	seq == 0            slot never written
+//	seq == 2*ticket+1   writer for ticket is mid-flight
+//	seq == 2*ticket     event for ticket is complete
+//
+// A reader loads seq, copies the payload, and re-loads seq: any
+// concurrent overwrite changes seq, so a torn copy is detected and
+// dropped. The one unguarded window is a writer stalled long enough
+// for the ring to wrap back onto the slot it is still filling — then
+// a payload can mix two events under the newer ticket. For a
+// diagnostic trace that bounded imprecision is an accepted cost of
+// staying lock-free; a Seq gap in the drained timeline flags that the
+// ring wrapped.
+type ring struct {
+	mask  uint64
+	next  atomic.Uint64 // ticket source; first ticket is 1
+	slots []slot
+}
+
+type slot struct {
+	seq  atomic.Uint64
+	kind atomic.Uint32
+	aru  atomic.Uint64
+	arg1 atomic.Uint64
+	arg2 atomic.Uint64
+	ts   atomic.Int64
+}
+
+// newRing returns a ring of at least n slots (rounded up to a power of
+// two, minimum 16).
+func newRing(n int) *ring {
+	if n < 16 {
+		n = 16
+	}
+	size := 1 << bits.Len(uint(n-1)) // next power of two ≥ n
+	return &ring{mask: uint64(size - 1), slots: make([]slot, size)}
+}
+
+// emit records one event.
+func (r *ring) emit(ts int64, kind EventKind, aru, arg1, arg2 uint64) {
+	ticket := r.next.Add(1)
+	s := &r.slots[(ticket-1)&r.mask]
+	s.seq.Store(2*ticket + 1) // mark mid-flight: readers skip
+	s.kind.Store(uint32(kind))
+	s.aru.Store(aru)
+	s.arg1.Store(arg1)
+	s.arg2.Store(arg2)
+	s.ts.Store(ts)
+	s.seq.Store(2 * ticket) // publish
+}
+
+// snapshot drains a consistent copy of every complete event, ordered
+// by ticket.
+func (r *ring) snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		v := s.seq.Load()
+		if v == 0 || v&1 == 1 {
+			continue // never written, or a writer is mid-flight
+		}
+		e := Event{
+			Kind: EventKind(s.kind.Load()),
+			ARU:  s.aru.Load(),
+			Arg1: s.arg1.Load(),
+			Arg2: s.arg2.Load(),
+		}
+		ts := s.ts.Load()
+		if s.seq.Load() != v {
+			continue // overwritten while copying: drop the torn event
+		}
+		e.Seq = v / 2
+		e.TS = time.Duration(ts)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
