@@ -62,6 +62,16 @@ const (
 // hold only a shared read lock and run in parallel with each other,
 // while mutating operations serialize behind the write lock. See
 // aru/internal/core.LLD and DESIGN.md's "Concurrency" section.
+//
+// Besides EndARU, an open unit can be discarded with AbortARU: its
+// shadow state is dropped and none of its operations ever reach the
+// committed state, exactly as if the client had crashed (identifiers
+// it allocated are swept by the next consistency check — paper §3.3).
+// AbortARU returns ErrAbortUnsupported on the sequential VariantOld
+// build, which applies operations in place and cannot roll back.
+//
+// A Disk can also be served to remote clients: see Interface, Dial
+// and NewNetServer (cmd/aru-serve is the ready-made server binary).
 type Disk = core.LLD
 
 // Params configures Format and Open; see aru/internal/core.Params.
@@ -170,14 +180,22 @@ var ServeMetrics = obs.ServeMetrics
 //	}
 func StatsCounters(s Stats) []Counter { return obs.FlattenCounters(s) }
 
-// Errors of the LD interface, re-exported for errors.Is tests.
+// Errors of the LD interface, re-exported for errors.Is tests. They
+// match both locally and through a network client (the wire protocol
+// carries the error code; see aru/internal/ldnet).
 var (
-	ErrNoSuchBlock      = core.ErrNoSuchBlock
-	ErrNoSuchList       = core.ErrNoSuchList
-	ErrNoSuchARU        = core.ErrNoSuchARU
-	ErrARUActive        = core.ErrARUActive
-	ErrNotMember        = core.ErrNotMember
-	ErrNoSpace          = core.ErrNoSpace
+	ErrNoSuchBlock = core.ErrNoSuchBlock
+	ErrNoSuchList  = core.ErrNoSuchList
+	ErrNoSuchARU   = core.ErrNoSuchARU
+	ErrARUActive   = core.ErrARUActive
+	ErrNotMember   = core.ErrNotMember
+	ErrNoSpace     = core.ErrNoSpace
+	// ErrAbortUnsupported is returned by (*Disk).AbortARU on the
+	// sequential VariantOld build: the 1993 LLD executes in-ARU
+	// operations directly in the committed state, so there is no
+	// shadow state to discard and an open unit cannot be rolled back
+	// (only a crash before its commit record aborts it). The
+	// concurrent VariantNew build always supports AbortARU.
 	ErrAbortUnsupported = core.ErrAbortUnsupported
 	ErrClosed           = core.ErrClosed
 )

@@ -5,12 +5,19 @@
 //
 //	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent] [-scale N]
 //	          [-verify] [-csv] [-json out.json] [-metrics-addr :6060]
+//	aru-bench -connect HOST:PORT [-net-ops N]
 //
 // -scale N divides the workload sizes by N for quick runs; the paper's
 // full scale is -scale 1 (the default). -json writes a machine-readable
 // report ("-" = stdout) including latency-histogram percentiles.
 // -metrics-addr serves /metrics (Prometheus text), /debug/vars and
 // /debug/pprof while the experiments run.
+//
+// -connect skips the simulated experiments and instead drives a remote
+// logical disk served by aru-serve with the mixed-ARU workload
+// (multi-block units, aborts, shadow readback, committed-state
+// verification) — the same semantics checks as the in-process runs,
+// but across the wire. -net-ops sets the number of ARUs.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"aru"
 	"aru/internal/harness"
 	"aru/internal/obs"
 )
@@ -30,7 +38,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
+	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect, *netOps)
+		return
+	}
 
 	tracer := obs.New(obs.Config{})
 	o := harness.Options{Scale: *scale, Verify: *verify, Tracer: tracer}
@@ -116,4 +131,34 @@ func main() {
 		}
 	}
 	fmt.Printf("(wall time %v, scale 1/%d)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+// runRemote drives an aru-serve instance with the mixed-ARU workload
+// and prints its throughput plus the server's counter deltas.
+func runRemote(addr string, ops int) {
+	cl, err := aru.Dial(addr, aru.DialConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aru-bench: connect %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	before, err := cl.StatsRPC()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aru-bench: remote stats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("remote disk at %s (block size %d B)\n", addr, cl.BlockSize())
+	res, err := harness.RunNetWorkload(cl, harness.NetOptions{Ops: ops})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aru-bench: remote workload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatNet(res))
+	if after, err := cl.StatsRPC(); err == nil {
+		fmt.Printf("server deltas: reads %d, writes %d, ARUs committed %d, aborted %d, segments written %d\n",
+			after.Reads-before.Reads, after.Writes-before.Writes,
+			after.ARUsCommitted-before.ARUsCommitted,
+			after.ARUsAborted-before.ARUsAborted,
+			after.SegmentsWritten-before.SegmentsWritten)
+	}
 }

@@ -8,6 +8,11 @@
 // brackets every multi-key update in a single ARU. A crash can never
 // expose half of a transaction.
 //
+// The store is written against aru.Interface, not *aru.Disk: the same
+// code runs on an in-process disk (as below) or on a remote disk —
+// replace the Format call with aru.Dial("host:9477", aru.DialConfig{})
+// against an aru-serve instance and nothing else changes.
+//
 //	go run ./examples/kvstore
 package main
 
@@ -21,8 +26,10 @@ import (
 )
 
 // kv is a minimal durable map: string keys and values up to one block.
+// It programs against aru.Interface, so the disk may be local or
+// remote.
 type kv struct {
-	d       *aru.Disk
+	d       aru.Interface
 	buckets []aru.ListID
 	bsize   int
 }
@@ -30,7 +37,7 @@ type kv struct {
 const numBuckets = 16
 
 // newKV formats the bucket lists on a fresh logical disk.
-func newKV(d *aru.Disk) (*kv, error) {
+func newKV(d aru.Interface) (*kv, error) {
 	s := &kv{d: d, bsize: d.BlockSize()}
 	a, err := d.BeginARU()
 	if err != nil {

@@ -1,0 +1,151 @@
+package ldnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"aru/internal/core"
+	"aru/internal/seg"
+)
+
+// benchSetup starts a server on an in-memory disk, connects a client
+// and preallocates a working set of committed blocks. Writes rotate
+// over the set, so the log's write coalescing keeps segment usage
+// bounded no matter how large b.N gets.
+func benchSetup(b *testing.B, blocks int) (*Client, []core.BlockID, []byte) {
+	backend, _ := newBackend(b, 256)
+	srv := NewServer(backend, ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+
+	cl, err := Dial(ln.Addr().String(), ClientConfig{RPCTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	b.Cleanup(func() { cl.Close() })
+
+	lst, err := cl.NewList(seg.SimpleARU)
+	if err != nil {
+		b.Fatalf("NewList: %v", err)
+	}
+	buf := make([]byte, cl.BlockSize())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	ids := make([]core.BlockID, blocks)
+	for i := range ids {
+		blk, err := cl.NewBlock(seg.SimpleARU, lst, core.NilBlock)
+		if err != nil {
+			b.Fatalf("NewBlock: %v", err)
+		}
+		if err := cl.Write(seg.SimpleARU, blk, buf); err != nil {
+			b.Fatalf("seed write: %v", err)
+		}
+		ids[i] = blk
+	}
+	return cl, ids, buf
+}
+
+// BenchmarkNetRoundtrip measures the minimum request/response latency
+// over loopback: one ping, fully serialized.
+func BenchmarkNetRoundtrip(b *testing.B) {
+	cl, _, _ := benchSetup(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Ping(); err != nil {
+			b.Fatalf("ping: %v", err)
+		}
+	}
+}
+
+// BenchmarkNetSerialWrites issues one block write per round trip —
+// the no-pipelining baseline for BenchmarkNetPipelined.
+func BenchmarkNetSerialWrites(b *testing.B) {
+	cl, ids, buf := benchSetup(b, 64)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Write(seg.SimpleARU, ids[i%len(ids)], buf); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+	}
+}
+
+// BenchmarkNetPipelined keeps a window of block writes in flight and
+// matches completions out of order — the protocol's pipelining payoff
+// over BenchmarkNetSerialWrites (the acceptance bar is ≥3×).
+func BenchmarkNetPipelined(b *testing.B) {
+	const window = 64
+	cl, ids, buf := benchSetup(b, 64)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	inflight := make([]*Call, 0, window)
+	for i := 0; i < b.N; i++ {
+		if len(inflight) == window {
+			if err := inflight[0].Wait(); err != nil {
+				b.Fatalf("write: %v", err)
+			}
+			inflight = inflight[1:]
+		}
+		inflight = append(inflight, cl.WriteAsync(seg.SimpleARU, ids[i%len(ids)], buf))
+	}
+	for _, call := range inflight {
+		if err := call.Wait(); err != nil {
+			b.Fatalf("drain: %v", err)
+		}
+	}
+}
+
+// BenchmarkNetPipelinedReads is the read-side counterpart: a window
+// of outstanding reads against committed blocks.
+func BenchmarkNetPipelinedReads(b *testing.B) {
+	const window = 64
+	cl, ids, buf := benchSetup(b, 64)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	inflight := make([]*Call, 0, window)
+	for i := 0; i < b.N; i++ {
+		if len(inflight) == window {
+			if err := inflight[0].Wait(); err != nil {
+				b.Fatalf("read: %v", err)
+			}
+			inflight = inflight[1:]
+		}
+		inflight = append(inflight, cl.ReadAsync(seg.SimpleARU, ids[i%len(ids)]))
+	}
+	for _, call := range inflight {
+		if err := call.Wait(); err != nil {
+			b.Fatalf("drain: %v", err)
+		}
+	}
+}
+
+// BenchmarkNetARU measures a full remote transaction: begin, two
+// pipelined shadow writes to existing blocks, commit. Writes rotate
+// over a fixed working set so the disk never fills regardless of b.N.
+func BenchmarkNetARU(b *testing.B) {
+	cl, ids, buf := benchSetup(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := cl.BeginARU()
+		if err != nil {
+			b.Fatalf("BeginARU: %v", err)
+		}
+		c1 := cl.WriteAsync(a, ids[i%len(ids)], buf)
+		c2 := cl.WriteAsync(a, ids[(i+1)%len(ids)], buf)
+		if err := c1.Wait(); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		if err := c2.Wait(); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		if err := cl.EndARU(a); err != nil {
+			b.Fatalf("EndARU: %v", err)
+		}
+	}
+}

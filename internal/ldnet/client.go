@@ -1,0 +1,630 @@
+package ldnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aru/internal/core"
+)
+
+// A Client is a valid server Backend: a proxy/relay is just a Server
+// whose backend is a Client.
+var _ Backend = (*Client)(nil)
+
+// ClientConfig configures Dial; the zero value selects defaults.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment, including the
+	// protocol handshake (default 5s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds each call from send to response (default 30s;
+	// negative disables the timeout).
+	RPCTimeout time.Duration
+	// ReadRetries is how many times an idempotent read (Read,
+	// ListBlocks, Lists, StatBlock, Stats, Flush, Ping) is retried
+	// after a disconnect, reconnecting with exponential backoff
+	// (default 3; negative disables retries). Mutating operations are
+	// never retried: the client cannot know whether the server
+	// applied them before the connection broke.
+	ReadRetries int
+	// RetryBackoff is the initial reconnect backoff, doubling per
+	// attempt (default 25ms).
+	RetryBackoff time.Duration
+	// MaxFrame caps response frame sizes (default DefaultMaxFrame).
+	MaxFrame uint32
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Second
+	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// Client is a remote logical disk: it implements the same interface
+// as the in-process facade (aru.Interface) by speaking the ldnet wire
+// protocol over one TCP connection.
+//
+// Calls are pipelined: any number of goroutines may issue requests
+// concurrently on one Client, each request carries a unique id, and
+// responses complete out of band as they arrive — a slow Sync does
+// not stall the reads queued behind it on the client side. The async
+// variants (ReadAsync, WriteAsync) expose the pipeline directly:
+// issue a batch, then wait, paying one round trip for the whole
+// batch instead of one per call.
+//
+// If the connection breaks, every in-flight call fails with
+// ErrDisconnected. The next call redials automatically; idempotent
+// reads additionally retry with exponential backoff (see
+// ClientConfig.ReadRetries). Server-side, the disconnect aborted
+// every ARU this client had open, so retried operations naming such
+// an ARU correctly fail with ErrNoSuchARU.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu        sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	flushing  bool // a flusher goroutine is scheduled for c.bw
+	blockSize int
+	nextID    uint64
+	pending   map[uint64]*Call
+	closed    bool
+}
+
+// Dial connects to an ldnet server and performs the protocol
+// handshake.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[uint64]*Call),
+	}
+	c.mu.Lock()
+	err := c.redialLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// BlockSize returns the server disk's block size, learned during the
+// handshake.
+func (c *Client) BlockSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blockSize
+}
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection and fails all in-flight calls. The
+// server aborts every ARU this client still had open — closing a
+// client mid-ARU is indistinguishable from crashing. It never closes
+// the remote disk.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.failPendingLocked(ErrClientClosed)
+	return nil
+}
+
+// redialLocked establishes the connection and runs the handshake
+// synchronously (the read loop starts only afterwards). Caller holds
+// c.mu.
+func (c *Client) redialLocked() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: dial %s: %v", ErrDisconnected, c.addr, err)
+	}
+	deadline := time.Now().Add(c.cfg.DialTimeout)
+	_ = conn.SetDeadline(deadline)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	e := newEnc(16)
+	e.u64(0) // handshake request id
+	e.u8(opHello)
+	e.u32(Magic)
+	e.u16(Version)
+	if err := writeFrame(bw, e.b, c.cfg.MaxFrame); err == nil {
+		err = bw.Flush()
+	} else {
+		conn.Close()
+		return fmt.Errorf("%w: handshake send: %v", ErrDisconnected, err)
+	}
+	frame, err := readFrame(br, c.cfg.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("%w: handshake: %v", ErrProtocol, err)
+	}
+	_, status, body, err := parseResponse(frame)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if status != statusOK {
+		conn.Close()
+		return fmt.Errorf("%w: handshake rejected: %s", ErrProtocol, string(body))
+	}
+	d := &dec{b: body}
+	ver := d.u16()
+	blockSize := int(d.u32())
+	d.u32() // server max frame (informational)
+	if !d.ok() || ver != Version || blockSize <= 0 {
+		conn.Close()
+		return fmt.Errorf("%w: bad handshake response", ErrProtocol)
+	}
+	if c.blockSize != 0 && c.blockSize != blockSize {
+		conn.Close()
+		return fmt.Errorf("%w: server block size changed from %d to %d across reconnect",
+			ErrProtocol, c.blockSize, blockSize)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.conn = conn
+	c.bw = bw
+	c.blockSize = blockSize
+	go c.readLoop(conn, br)
+	return nil
+}
+
+// readLoop receives responses for one connection generation and
+// completes the matching calls, in whatever order the server answers.
+func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
+	for {
+		frame, err := readFrame(br, c.cfg.MaxFrame)
+		if err != nil {
+			c.connBroken(conn, err)
+			return
+		}
+		reqID, status, body, err := parseResponse(frame)
+		if err != nil {
+			c.connBroken(conn, err)
+			return
+		}
+		c.mu.Lock()
+		call, ok := c.pending[reqID]
+		if ok {
+			delete(c.pending, reqID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // timed-out call already abandoned; drop the late reply
+		}
+		if status == statusOK {
+			call.complete(body, nil)
+		} else {
+			call.complete(nil, errFor(status, string(body)))
+		}
+	}
+}
+
+// connBroken tears down one connection generation: in-flight calls
+// fail with ErrDisconnected and the next request triggers a redial.
+func (c *Client) connBroken(conn net.Conn, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != conn {
+		return // a newer generation already took over
+	}
+	c.conn = nil
+	c.bw = nil
+	conn.Close()
+	if !c.closed {
+		c.failPendingLocked(fmt.Errorf("%w: %v", ErrDisconnected, cause))
+	}
+}
+
+func (c *Client) failPendingLocked(err error) {
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.complete(nil, err)
+	}
+}
+
+// Call is one in-flight request. Wait (or Done + Err) collects the
+// outcome; the typed accessors of the issuing method decode the body.
+type Call struct {
+	c    *Client
+	id   uint64
+	op   uint8
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func (call *Call) complete(body []byte, err error) {
+	call.body = body
+	call.err = err
+	close(call.done)
+}
+
+// Done is closed when the response (or failure) arrived.
+func (call *Call) Done() <-chan struct{} { return call.done }
+
+// Wait blocks until the call completes or the RPC timeout expires,
+// and returns its error.
+func (call *Call) Wait() error {
+	_, err := call.wait()
+	return err
+}
+
+func (call *Call) wait() ([]byte, error) {
+	timeout := call.c.cfg.RPCTimeout
+	if timeout <= 0 {
+		<-call.done
+		return call.body, call.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-call.done:
+		return call.body, call.err
+	case <-timer.C:
+	}
+	// Abandon the call: remove it from pending so a late response is
+	// dropped, unless the read loop won the race.
+	c := call.c
+	c.mu.Lock()
+	_, stillPending := c.pending[call.id]
+	if stillPending {
+		delete(c.pending, call.id)
+	}
+	c.mu.Unlock()
+	if !stillPending {
+		<-call.done // response arrived while we were deciding
+		return call.body, call.err
+	}
+	call.complete(nil, fmt.Errorf("%w: %s after %v", ErrTimeout, opName(call.op), timeout))
+	return nil, call.err
+}
+
+// send registers and transmits one request, redialing first if the
+// connection is down. The returned call may already be failed (send
+// errors complete it immediately). head and payload together form the
+// request body; they are written straight into the connection buffer
+// (no intermediate frame copy), so payload may be a caller-owned
+// block buffer — it is consumed before send returns.
+func (c *Client) send(op uint8, head, payload []byte) *Call {
+	call := &Call{c: c, op: op, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		call.complete(nil, ErrClientClosed)
+		return call
+	}
+	if c.conn == nil {
+		if err := c.redialLocked(); err != nil {
+			c.mu.Unlock()
+			call.complete(nil, err)
+			return call
+		}
+	}
+	c.nextID++
+	call.id = c.nextID
+	c.pending[call.id] = call
+	err := writeRequest(c.bw, call.id, op, head, payload, c.cfg.MaxFrame)
+	if err != nil {
+		delete(c.pending, call.id)
+		conn := c.conn
+		c.conn = nil
+		c.bw = nil
+		if conn != nil {
+			conn.Close()
+		}
+		c.failPendingLocked(fmt.Errorf("%w: send: %v", ErrDisconnected, err))
+		c.mu.Unlock()
+		call.complete(nil, fmt.Errorf("%w: send: %v", ErrDisconnected, err))
+		return call
+	}
+	// Flush in a separate goroutine so pipelined senders coalesce: every
+	// frame buffered while the flusher waits for the lock goes out in
+	// one socket write instead of one write per request.
+	if !c.flushing {
+		c.flushing = true
+		go c.flush(c.conn)
+	}
+	c.mu.Unlock()
+	return call
+}
+
+// flush pushes buffered frames to the socket for one connection
+// generation. At most one flusher is scheduled at a time (see
+// c.flushing); a flush failure is a broken connection.
+func (c *Client) flush(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushing = false
+	if c.conn != conn || c.bw == nil {
+		return // a newer generation took over; its own flusher runs
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.conn = nil
+		c.bw = nil
+		conn.Close()
+		if !c.closed {
+			c.failPendingLocked(fmt.Errorf("%w: flush: %v", ErrDisconnected, err))
+		}
+	}
+}
+
+// rpc performs one synchronous round trip.
+func (c *Client) rpc(op uint8, body []byte) ([]byte, error) {
+	return c.send(op, body, nil).wait()
+}
+
+// rpcRetry is rpc plus the idempotent-read retry policy: on
+// disconnect, reconnect with exponential backoff and reissue.
+func (c *Client) rpcRetry(op uint8, body []byte) ([]byte, error) {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		out, err := c.rpc(op, body)
+		if err == nil || !isTransient(err) || attempt >= c.cfg.ReadRetries {
+			return out, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// isTransient reports whether an error is a broken-transport error
+// that a reconnect may cure (never a semantic LD error or a timeout).
+func isTransient(err error) bool {
+	return errors.Is(err, ErrDisconnected)
+}
+
+// ---- Request body builders -------------------------------------------
+
+func encARU(aru core.ARUID) []byte {
+	e := newEnc(8)
+	e.u64(uint64(aru))
+	return e.b
+}
+
+func encARUBlock(aru core.ARUID, b core.BlockID) []byte {
+	e := newEnc(16)
+	e.u64(uint64(aru))
+	e.u64(uint64(b))
+	return e.b
+}
+
+func encARUList(aru core.ARUID, lst core.ListID) []byte {
+	e := newEnc(16)
+	e.u64(uint64(aru))
+	e.u64(uint64(lst))
+	return e.b
+}
+
+// ---- The LD interface over the wire ----------------------------------
+
+// Read copies block b, as seen from the state of aru, into dst. It is
+// idempotent and retried across reconnects.
+func (c *Client) Read(aru core.ARUID, b core.BlockID, dst []byte) error {
+	body, err := c.rpcRetry(opRead, encARUBlock(aru, b))
+	if err != nil {
+		return err
+	}
+	if len(body) != len(dst) {
+		return fmt.Errorf("%w: read returned %d bytes, want %d", ErrProtocol, len(body), len(dst))
+	}
+	copy(dst, body)
+	return nil
+}
+
+// ReadAsync issues a pipelined Read; decode the payload with
+// (*Call).wait via Read, or use Wait and re-issue. Prefer Read unless
+// batching.
+func (c *Client) ReadAsync(aru core.ARUID, b core.BlockID) *Call {
+	return c.send(opRead, encARUBlock(aru, b), nil)
+}
+
+// Write replaces the contents of block b within the state of aru.
+func (c *Client) Write(aru core.ARUID, b core.BlockID, data []byte) error {
+	return c.WriteAsync(aru, b, data).Wait()
+}
+
+// WriteAsync issues a pipelined Write and returns immediately; Wait
+// collects the result. A batch of WriteAsync calls followed by one
+// round of Waits costs one round trip, not one per write.
+func (c *Client) WriteAsync(aru core.ARUID, b core.BlockID, data []byte) *Call {
+	if bs := c.BlockSize(); len(data) != bs {
+		call := &Call{c: c, op: opWrite, done: make(chan struct{})}
+		call.complete(nil, fmt.Errorf("%w: Write buffer is %d bytes, block size is %d",
+			core.ErrBadParam, len(data), bs))
+		return call
+	}
+	return c.send(opWrite, encARUBlock(aru, b), data)
+}
+
+// NewBlock allocates a block and inserts it into lst after pred.
+func (c *Client) NewBlock(aru core.ARUID, lst core.ListID, pred core.BlockID) (core.BlockID, error) {
+	e := newEnc(24)
+	e.u64(uint64(aru))
+	e.u64(uint64(lst))
+	e.u64(uint64(pred))
+	body, err := c.rpc(opNewBlock, e.b)
+	if err != nil {
+		return 0, err
+	}
+	id, err := decodeU64(body)
+	return core.BlockID(id), err
+}
+
+// NewList allocates a new, empty list.
+func (c *Client) NewList(aru core.ARUID) (core.ListID, error) {
+	body, err := c.rpc(opNewList, encARU(aru))
+	if err != nil {
+		return 0, err
+	}
+	id, err := decodeU64(body)
+	return core.ListID(id), err
+}
+
+// DeleteBlock removes block b within the state of aru.
+func (c *Client) DeleteBlock(aru core.ARUID, b core.BlockID) error {
+	_, err := c.rpc(opFreeBlock, encARUBlock(aru, b))
+	return err
+}
+
+// DeleteList removes list lst and its blocks within the state of aru.
+func (c *Client) DeleteList(aru core.ARUID, lst core.ListID) error {
+	_, err := c.rpc(opFreeList, encARUList(aru, lst))
+	return err
+}
+
+// MoveBlock moves block b to list lst after pred, atomically within
+// the issuing stream.
+func (c *Client) MoveBlock(aru core.ARUID, b core.BlockID, lst core.ListID, pred core.BlockID) error {
+	e := newEnc(32)
+	e.u64(uint64(aru))
+	e.u64(uint64(b))
+	e.u64(uint64(lst))
+	e.u64(uint64(pred))
+	_, err := c.rpc(opMoveBlock, e.b)
+	return err
+}
+
+// ListBlocks returns the members of lst in order, as seen from the
+// state of aru. Idempotent: retried across reconnects.
+func (c *Client) ListBlocks(aru core.ARUID, lst core.ListID) ([]core.BlockID, error) {
+	body, err := c.rpcRetry(opListBlocks, encARUList(aru, lst))
+	if err != nil {
+		return nil, err
+	}
+	ids, err := decodeIDs(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.BlockID, len(ids))
+	for i, id := range ids {
+		out[i] = core.BlockID(id)
+	}
+	return out, nil
+}
+
+// Lists returns the lists visible in the state of aru. Idempotent:
+// retried across reconnects.
+func (c *Client) Lists(aru core.ARUID) ([]core.ListID, error) {
+	body, err := c.rpcRetry(opLists, encARU(aru))
+	if err != nil {
+		return nil, err
+	}
+	ids, err := decodeIDs(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ListID, len(ids))
+	for i, id := range ids {
+		out[i] = core.ListID(id)
+	}
+	return out, nil
+}
+
+// StatBlock returns the effective record of block b in the state of
+// aru. Idempotent: retried across reconnects.
+func (c *Client) StatBlock(aru core.ARUID, b core.BlockID) (core.BlockInfo, error) {
+	body, err := c.rpcRetry(opStatBlock, encARUBlock(aru, b))
+	if err != nil {
+		return core.BlockInfo{}, err
+	}
+	return decodeBlockInfo(body)
+}
+
+// BeginARU opens a new atomic recovery unit on the server, owned by
+// this connection: if the connection breaks before EndARU, the server
+// aborts it.
+func (c *Client) BeginARU() (core.ARUID, error) {
+	body, err := c.rpc(opBeginARU, nil)
+	if err != nil {
+		return 0, err
+	}
+	id, err := decodeU64(body)
+	return core.ARUID(id), err
+}
+
+// EndARU commits the unit (atomicity, not durability — call Flush or
+// use CommitDurable).
+func (c *Client) EndARU(aru core.ARUID) error {
+	_, err := c.rpc(opEndARU, encARU(aru))
+	return err
+}
+
+// AbortARU discards the unit's shadow state.
+func (c *Client) AbortARU(aru core.ARUID) error {
+	_, err := c.rpc(opAbortARU, encARU(aru))
+	return err
+}
+
+// CommitDurable ends the ARU and flushes in one round trip.
+func (c *Client) CommitDurable(aru core.ARUID) error {
+	_, err := c.rpc(opCommitDurable, encARU(aru))
+	return err
+}
+
+// Flush forces all committed state to stable storage. Idempotent:
+// retried across reconnects.
+func (c *Client) Flush() error {
+	_, err := c.rpcRetry(opSync, nil)
+	return err
+}
+
+// Stats returns the server disk's counters; a failed RPC returns the
+// zero Stats (use StatsRPC to observe the error).
+func (c *Client) Stats() core.Stats {
+	st, _ := c.StatsRPC()
+	return st
+}
+
+// StatsRPC returns the server disk's counters, or the RPC error.
+func (c *Client) StatsRPC() (core.Stats, error) {
+	body, err := c.rpcRetry(opStats, nil)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return decodeStats(body)
+}
+
+// Ping round-trips an empty request — a health check and an RTT
+// probe. Idempotent: retried across reconnects.
+func (c *Client) Ping() error {
+	_, err := c.rpcRetry(opPing, nil)
+	return err
+}
+
+func decodeU64(body []byte) (uint64, error) {
+	d := &dec{b: body}
+	v := d.u64()
+	if !d.ok() {
+		return 0, fmt.Errorf("%w: malformed id body", ErrProtocol)
+	}
+	return v, nil
+}

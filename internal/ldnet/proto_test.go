@@ -1,0 +1,395 @@
+package ldnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"aru/internal/core"
+)
+
+// ---- Pure decoder robustness ----------------------------------------
+
+func TestParseRequestRobustness(t *testing.T) {
+	// A valid read request, used as the base for mutations.
+	e := newEnc(32)
+	e.u64(7)
+	e.u8(opRead)
+	e.u64(0)
+	e.u64(42)
+	valid := e.b
+
+	if id, op, a, err := parseRequest(valid, 4096); err != nil || id != 7 || op != opRead || a.blk != 42 {
+		t.Fatalf("valid request failed to parse: id=%d op=%d err=%v", id, op, err)
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:5]},
+		{"truncated body", valid[:12]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xFF)},
+		{"unknown opcode", func() []byte {
+			f := append([]byte{}, valid...)
+			f[8] = 200
+			return f
+		}()},
+		{"opcode zero", func() []byte {
+			f := append([]byte{}, valid...)
+			f[8] = 0
+			return f
+		}()},
+		{"bodyless op with body", func() []byte {
+			e := newEnc(16)
+			e.u64(1)
+			e.u8(opPing)
+			e.u64(99)
+			return e.b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := parseRequest(tc.frame, 4096); err == nil {
+			t.Errorf("%s: parseRequest accepted malformed input", tc.name)
+		} else if !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: error %v does not wrap ErrProtocol", tc.name, err)
+		}
+	}
+
+	// An oversized write payload is rejected by maxData.
+	e = newEnc(64)
+	e.u64(1)
+	e.u8(opWrite)
+	e.u64(0)
+	e.u64(1)
+	e.bytes(make([]byte, 33))
+	if _, _, _, err := parseRequest(e.b, 32); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized write payload: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, payload, 64); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	got, err := readFrame(&buf, 64)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: %q %v", got, err)
+	}
+
+	// Oversized length prefix: rejected before allocating.
+	var huge bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<31)
+	huge.Write(hdr[:])
+	if _, err := readFrame(&huge, DefaultMaxFrame); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized prefix: got %v, want ErrProtocol", err)
+	}
+
+	// Truncated frame: header promises more than the stream holds.
+	var short bytes.Buffer
+	binary.LittleEndian.PutUint32(hdr[:], 100)
+	short.Write(hdr[:])
+	short.WriteString("only a little")
+	if _, err := readFrame(&short, DefaultMaxFrame); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated frame: got %v, want ErrProtocol", err)
+	}
+
+	// Oversized payload is refused on the write side too.
+	if err := writeFrame(io.Discard, make([]byte, 65), 64); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized write: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	var st core.Stats
+	st.Reads = 7
+	st.Writes = 9
+	st.ARUsAborted = 3
+	st.LeakedBlocksFreed = 11
+	e := newEnc(2 + 8*statsFields)
+	encodeStats(e, st)
+	got, err := decodeStats(e.b)
+	if err != nil {
+		t.Fatalf("decodeStats: %v", err)
+	}
+	if got != st {
+		t.Fatalf("stats round trip: got %+v, want %+v", got, st)
+	}
+	// Wrong field count is detected, not mis-assigned.
+	bad := append([]byte{}, e.b...)
+	binary.LittleEndian.PutUint16(bad[0:], uint16(statsFields+1))
+	if _, err := decodeStats(bad); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("field-count mismatch: got %v, want ErrProtocol", err)
+	}
+	if _, err := decodeStats(e.b[:5]); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated stats: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestBlockInfoAndIDsRoundTrip(t *testing.T) {
+	bi := core.BlockInfo{ID: 5, List: 2, Succ: 9, HasData: true, TS: 77}
+	e := newEnc(33)
+	encodeBlockInfo(e, bi)
+	got, err := decodeBlockInfo(e.b)
+	if err != nil || got != bi {
+		t.Fatalf("block-info round trip: %+v %v", got, err)
+	}
+	if _, err := decodeBlockInfo(e.b[:10]); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated block info: got %v, want ErrProtocol", err)
+	}
+
+	ids := []uint64{1, 5, 1 << 40}
+	e = newEnc(32)
+	encodeIDs(e, ids)
+	back, err := decodeIDs(e.b)
+	if err != nil || len(back) != 3 || back[2] != 1<<40 {
+		t.Fatalf("id-list round trip: %v %v", back, err)
+	}
+	// A count that promises more ids than the body holds must not
+	// allocate or over-read.
+	var lie bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	lie.Write(hdr[:])
+	lie.Write(make([]byte, 16))
+	if _, err := decodeIDs(lie.Bytes()); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("lying id count: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	sentinels := []error{
+		core.ErrNoSuchBlock, core.ErrNoSuchList, core.ErrNoSuchARU,
+		core.ErrARUActive, core.ErrNotMember, core.ErrNoSpace,
+		core.ErrAbortUnsupported, core.ErrClosed, core.ErrBadParam,
+	}
+	for _, want := range sentinels {
+		code := codeFor(want)
+		if code == statusOK {
+			t.Fatalf("%v mapped to statusOK", want)
+		}
+		rebuilt := errFor(code, "server says: "+want.Error())
+		if !errors.Is(rebuilt, want) {
+			t.Errorf("round-tripped %v does not errors.Is its sentinel", want)
+		}
+	}
+	if !errors.Is(errFor(codeGeneric, "boom"), ErrRemote) {
+		t.Fatalf("generic code does not unwrap to ErrRemote")
+	}
+	if got := errFor(codeNoSuchBlock, "").Error(); got == "" {
+		t.Fatalf("empty-message wire error has empty Error()")
+	}
+}
+
+// ---- Raw-socket robustness against a live server --------------------
+
+// rawDial opens a raw connection and completes the HELLO handshake.
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	e := newEnc(16)
+	e.u64(1)
+	e.u8(opHello)
+	e.u32(Magic)
+	e.u16(Version)
+	if err := writeFrame(conn, e.b, DefaultMaxFrame); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	if _, err := readFrame(br, DefaultMaxFrame); err != nil {
+		t.Fatalf("hello response: %v", err)
+	}
+	return conn, br
+}
+
+// expectDrop asserts the server closes the connection (rather than
+// answering or hanging).
+func expectDrop(t *testing.T, conn net.Conn, br *bufio.Reader, what string) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFrame(br, DefaultMaxFrame); err == nil {
+		t.Fatalf("%s: server answered instead of dropping the connection", what)
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("%s: server neither answered nor dropped within 5s", what)
+	}
+}
+
+func TestServerDropsBadHandshake(t *testing.T) {
+	backend, _ := newBackend(t, 16)
+	srv, addr := startServer(t, backend)
+
+	// Wrong magic.
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	e := newEnc(16)
+	e.u64(1)
+	e.u8(opHello)
+	e.u32(0xDEADBEEF)
+	e.u16(Version)
+	if err := writeFrame(conn, e.b, DefaultMaxFrame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	expectDrop(t, conn, bufio.NewReader(conn), "bad magic")
+
+	// Garbage instead of a frame: an absurd length prefix.
+	conn2, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	expectDrop(t, conn2, bufio.NewReader(conn2), "oversized prefix")
+
+	if srv.Metrics().ProtoErrors() < 2 {
+		t.Fatalf("protocol errors not counted: %d", srv.Metrics().ProtoErrors())
+	}
+}
+
+func TestServerAnswersUnknownOpcode(t *testing.T) {
+	backend, _ := newBackend(t, 16)
+	_, addr := startServer(t, backend)
+	conn, br := rawDial(t, addr)
+
+	// An unknown opcode in a well-framed request gets an error
+	// response; the connection stays usable.
+	e := newEnc(16)
+	e.u64(42)
+	e.u8(250)
+	if err := writeFrame(conn, e.b, DefaultMaxFrame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := readFrame(br, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("server dropped instead of answering unknown opcode: %v", err)
+	}
+	reqID, status, _, err := parseResponse(frame)
+	if err != nil || reqID != 42 || status == statusOK {
+		t.Fatalf("unknown opcode response: id=%d status=%d err=%v", reqID, status, err)
+	}
+
+	// Prove the connection survived: a ping still works.
+	e = newEnc(16)
+	e.u64(43)
+	e.u8(opPing)
+	if err := writeFrame(conn, e.b, DefaultMaxFrame); err != nil {
+		t.Fatalf("ping write: %v", err)
+	}
+	frame, err = readFrame(br, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("ping after unknown opcode: %v", err)
+	}
+	if reqID, status, _, _ := parseResponse(frame); reqID != 43 || status != statusOK {
+		t.Fatalf("ping response: id=%d status=%d", reqID, status)
+	}
+}
+
+func TestServerDropsTruncatedFrame(t *testing.T) {
+	backend, _ := newBackend(t, 16)
+	_, addr := startServer(t, backend)
+	conn, br := rawDial(t, addr)
+
+	// Promise 50 bytes, send 10, then half-close: the server must
+	// treat it as a dead connection, not hang or crash.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 50)
+	conn.Write(hdr[:])
+	conn.Write(make([]byte, 10))
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := conn.(closeWriter); ok {
+		cw.CloseWrite()
+	} else {
+		conn.Close()
+	}
+	expectDrop(t, conn, br, "truncated frame")
+}
+
+// ---- Fuzzing ---------------------------------------------------------
+
+// FuzzParseRequest: arbitrary request frames must produce a value or
+// an error, never a panic or an over-read.
+func FuzzParseRequest(f *testing.F) {
+	// Seed with one valid frame per opcode shape.
+	for op := uint8(1); int(op) < numOps; op++ {
+		e := newEnc(64)
+		e.u64(uint64(op))
+		e.u8(op)
+		e.u64(1)
+		e.u64(2)
+		e.u64(3)
+		e.u64(4)
+		f.Add(e.b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		reqID, op, a, err := parseRequest(frame, 4096)
+		if err == nil && len(a.data) > 4096 {
+			t.Fatalf("accepted oversized payload (%d bytes) for op %d req %d", len(a.data), op, reqID)
+		}
+	})
+}
+
+// FuzzParseResponse: arbitrary response frames and bodies must decode
+// cleanly or error, never panic.
+func FuzzParseResponse(f *testing.F) {
+	e := newEnc(32)
+	e.u64(1)
+	e.u8(statusOK)
+	e.bytes([]byte("body"))
+	f.Add(e.b)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		_, status, body, err := parseResponse(frame)
+		if err != nil {
+			return
+		}
+		// Exercise the body decoders the client would run on it.
+		_, _ = decodeStats(body)
+		_, _ = decodeBlockInfo(body)
+		_, _ = decodeIDs(body)
+		_, _ = decodeU64(body)
+		if status != statusOK {
+			_ = errFor(status, string(body)).Error()
+		}
+	})
+}
+
+// FuzzFrameIO: arbitrary byte streams through readFrame must error or
+// yield a bounded frame, never panic or allocate unboundedly.
+func FuzzFrameIO(f *testing.F) {
+	var ok bytes.Buffer
+	writeFrame(&ok, []byte("abc"), 64)
+	f.Add(ok.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for {
+			frame, err := readFrame(r, 1<<16)
+			if err != nil {
+				return
+			}
+			if len(frame) > 1<<16 {
+				t.Fatalf("readFrame returned %d bytes past the cap", len(frame))
+			}
+		}
+	})
+}

@@ -73,6 +73,10 @@ type HandlerOptions struct {
 	Counters func() []Counter
 	// Tracer supplies the latency histograms. Optional.
 	Tracer *Tracer
+	// Extra supplies additional histogram snapshots rendered after
+	// the Tracer's — e.g. the network server's per-RPC latencies
+	// (ldnet.Metrics.Histograms). Optional.
+	Extra func() []HistSnapshot
 }
 
 func (o HandlerOptions) namespace() string {
@@ -98,6 +102,11 @@ func Handler(o HandlerOptions) http.Handler {
 		}
 		for _, h := range o.Tracer.Histograms() {
 			writePromHistogram(w, ns, h)
+		}
+		if o.Extra != nil {
+			for _, h := range o.Extra() {
+				writePromHistogram(w, ns, h)
+			}
 		}
 	})
 }
@@ -143,6 +152,9 @@ func publishExpvar(o HandlerOptions) {
 				sort.Slice(v.Counters, func(i, j int) bool { return v.Counters[i].Name < v.Counters[j].Name })
 			}
 			v.Histograms = o.Tracer.Histograms()
+			if o.Extra != nil {
+				v.Histograms = append(v.Histograms, o.Extra()...)
+			}
 			return v
 		}))
 	})
