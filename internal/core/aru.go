@@ -145,6 +145,12 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
 // commit.
 func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 	gate := mode{view: seg.SimpleARU, tag: aru, tracked: st}
+	if d.params.UnsafeUntaggedReplay {
+		// Fault injection for the crash checker: drop the ARU tag so
+		// recovery replays these entries without waiting for the
+		// commit record.
+		gate.tag = seg.SimpleARU
+	}
 
 	// Merge shadow block data into the committed state: the shadow
 	// version replaces the current committed version, which is

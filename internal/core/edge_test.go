@@ -198,7 +198,7 @@ func TestCheckpointRefusedWithOpenARU(t *testing.T) {
 	d.mu.Lock()
 	dev := d.dev.(*disk.Sim)
 	d.mu.Unlock()
-	d2, rpt, err := OpenReport(dev.Reopen(dev.Image()), Params{})
+	d2, rpt, err := OpenReport(dev.Recycle(), Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,8 +26,10 @@ func (d *LLD) flushLocked() error {
 	if err := d.writeCurSeg(); err != nil {
 		return err
 	}
-	if err := d.dev.Sync(); err != nil {
-		return fmt.Errorf("lld: sync: %w", err)
+	if !d.params.UnsafeNoSyncOnFlush {
+		if err := d.dev.Sync(); err != nil {
+			return fmt.Errorf("lld: sync: %w", err)
+		}
 	}
 	d.commitsDurable()
 	return nil

@@ -151,6 +151,17 @@ type Params struct {
 	// applications can subscribe to engine events by emitting their
 	// own spans into the same Tracer.
 	Tracer *obs.Tracer
+
+	// UnsafeNoSyncOnFlush makes Flush skip the device sync while
+	// still reporting commits as durable. It exists solely so the
+	// crash-state checker (internal/crashenum) can prove it detects
+	// durability violations; never set it in production.
+	UnsafeNoSyncOnFlush bool
+	// UnsafeUntaggedReplay makes EndARU write the unit's replay
+	// entries without their ARU tag, so recovery applies them
+	// unconditionally instead of gating them on the commit record —
+	// a deliberate atomicity bug for validating the crash checker.
+	UnsafeUntaggedReplay bool
 }
 
 func (p Params) withDefaults() Params {

@@ -149,6 +149,24 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	}
 	sort.Slice(replay, func(i, j int) bool { return replay[i].tr.Seq < replay[j].tr.Seq })
 
+	// Segments are sealed with consecutive seqs, so the replay window
+	// must be a contiguous run starting right after the checkpoint. A
+	// hole means the device lost or reordered an un-synced segment
+	// write: everything past the hole was never acknowledged durable (a
+	// completed Sync would have made the missing segment whole) and may
+	// causally depend on it — replaying it could surface a partial ARU.
+	// Cut there. (Found by the crash-state enumerator, internal/crashenum.)
+	droppedTail := false
+	expect := ck.FlushedSeq + 1
+	for i, ls := range replay {
+		if ls.tr.Seq != expect {
+			droppedTail = true
+			replay = replay[:i]
+			break
+		}
+		expect++
+	}
+
 	segBuf := make([]byte, layout.SegBytes)
 	for _, ls := range replay {
 		if err := dev.ReadAt(segBuf, layout.SegOff(ls.idx)); err != nil {
@@ -160,6 +178,7 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 			// medium failed underneath us (a torn write cannot produce
 			// this). Stop replaying here; later segments would be
 			// causally disconnected.
+			droppedTail = true
 			break
 		}
 		for _, e := range entries {
@@ -216,6 +235,19 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		return nil, RecoveryReport{}, err
 	}
 	d.freeCache = d.reusableCount()
+
+	// If the log tail was cut (seq hole or corrupt entry region), stale
+	// valid-looking trailers beyond the cut still sit on the medium.
+	// Future seals reuse their seq numbers only above maxSeq, so a later
+	// recovery from the *old* checkpoint would walk into the same hole —
+	// and cut off everything this incarnation writes. Seal the window
+	// now with a fresh checkpoint so the dropped segments can never
+	// re-enter a replay window.
+	if droppedTail {
+		if err := d.checkpointLocked(); err != nil && !errors.Is(err, ErrNoSpace) {
+			return nil, RecoveryReport{}, fmt.Errorf("lld: sealing cut log tail: %w", err)
+		}
+	}
 
 	if !p.NoAutoCheck {
 		freed, err := d.checkLocked()

@@ -310,7 +310,7 @@ func crashSweepAtomicity(t *testing.T, variant Variant) {
 		if !dev.Crashed() {
 			continue
 		}
-		d2, err := Open(dev.Reopen(dev.Image()), Params{})
+		d2, err := Open(dev.Recycle(), Params{})
 		if err != nil {
 			// Crashing inside Format may leave no valid superblock or
 			// initial checkpoint: "never initialized" is consistent.
@@ -420,7 +420,7 @@ func TestCrashSweepInterleaved(t *testing.T) {
 		if !dev.Crashed() {
 			continue
 		}
-		d2, err := Open(dev.Reopen(dev.Image()), Params{})
+		d2, err := Open(dev.Recycle(), Params{})
 		if err != nil {
 			if k <= 4 {
 				continue
@@ -545,7 +545,7 @@ func TestTornTailSegmentIgnored(t *testing.T) {
 	if err := d.Flush(); err == nil {
 		t.Fatal("flush should have died")
 	}
-	d2, err := Open(dev.Reopen(dev.Image()), Params{})
+	d2, err := Open(dev.Recycle(), Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -81,6 +82,94 @@ func TestVersionBound(t *testing.T) {
 	}
 	if err := d.VerifyInternal(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVersionBoundProperty drives a seeded mixed-ARU workload —
+// overlapping units writing the same shared blocks, commits, aborts,
+// flushes — and asserts the paper's bound as an invariant after every
+// step: no block ever has more than ActiveARUs()+2 live versions.
+func TestVersionBoundProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			d, _ := newTestLLD(t, Params{})
+			rng := rand.New(rand.NewSource(seed))
+			lst, _ := d.NewList(0)
+			var blocks []BlockID
+			pred := NilBlock
+			for i := 0; i < 6; i++ {
+				b, err := d.NewBlock(0, lst, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blocks = append(blocks, b)
+				pred = b
+			}
+			checkBound := func(step int) {
+				t.Helper()
+				n := d.ActiveARUs()
+				for _, b := range blocks {
+					if got := d.VersionCount(b); got > n+2 {
+						t.Fatalf("step %d: block %d has %d versions with %d active ARUs (bound %d)",
+							step, b, got, n, n+2)
+					}
+				}
+			}
+			var open []ARUID
+			const steps = 300
+			for i := 0; i < steps; i++ {
+				switch k := rng.Intn(10); {
+				case k < 3 && len(open) < 5: // begin a unit
+					a, err := d.BeginARU()
+					if err != nil {
+						t.Fatal(err)
+					}
+					open = append(open, a)
+				case k < 7 && len(open) > 0: // shadow-write a shared block
+					a := open[rng.Intn(len(open))]
+					b := blocks[rng.Intn(len(blocks))]
+					if err := d.Write(a, b, fill(d, byte(i))); err != nil {
+						t.Fatal(err)
+					}
+				case k < 8 && len(open) > 0: // commit a unit
+					j := rng.Intn(len(open))
+					if err := d.EndARU(open[j]); err != nil {
+						t.Fatal(err)
+					}
+					open = append(open[:j], open[j+1:]...)
+				case k < 9 && len(open) > 0: // abort a unit
+					j := rng.Intn(len(open))
+					if err := d.AbortARU(open[j]); err != nil {
+						t.Fatal(err)
+					}
+					open = append(open[:j], open[j+1:]...)
+				default: // simple write or flush
+					if rng.Intn(2) == 0 {
+						if err := d.Write(0, blocks[rng.Intn(len(blocks))], fill(d, byte(i))); err != nil {
+							t.Fatal(err)
+						}
+					} else if err := d.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkBound(i)
+			}
+			for _, a := range open {
+				if err := d.EndARU(a); err != nil {
+					t.Fatal(err)
+				}
+				checkBound(steps)
+			}
+			// With no units open the bound collapses to 2.
+			for _, b := range blocks {
+				if got := d.VersionCount(b); got > 2 {
+					t.Fatalf("quiescent block %d has %d versions, want <= 2", b, got)
+				}
+			}
+			if err := d.VerifyInternal(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -337,7 +426,7 @@ func TestOldVariantGating(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash before EndARU: recovery must roll the whole unit back.
-	d2, err := Open(dev.Reopen(dev.Image()), Params{})
+	d2, err := Open(dev.Recycle(), Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

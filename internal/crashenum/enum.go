@@ -1,0 +1,290 @@
+package crashenum
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"aru/internal/disk"
+)
+
+// CrashState identifies one crash image of a journaled execution.
+// Epochs strictly before Epoch are fully applied (their sync barrier
+// completed); within the crash epoch, the first Keep writes are
+// applied in order except those listed in Drop (lost to reordering),
+// and the write at index TearOp — if any — reaches the medium only up
+// to TearSectors whole sectors.
+type CrashState struct {
+	Epoch       int
+	Keep        int
+	Drop        []int // journal-order indices within the epoch, each < Keep
+	TearOp      int   // index within the epoch, < Keep; -1 = no torn write
+	TearSectors int   // sectors of TearOp that land (< the write's total)
+}
+
+// String renders the state in the compact replayable form used by
+// failure artifacts: "E<epoch>K<keep>[D<i,j,...>][T<op>:<sectors>]".
+func (cs CrashState) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E%dK%d", cs.Epoch, cs.Keep)
+	if len(cs.Drop) > 0 {
+		b.WriteString("D")
+		for i, d := range cs.Drop {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%d", d)
+		}
+	}
+	if cs.TearOp >= 0 {
+		fmt.Fprintf(&b, "T%d:%d", cs.TearOp, cs.TearSectors)
+	}
+	return b.String()
+}
+
+// ParseState parses the String form back into a CrashState.
+func ParseState(s string) (CrashState, error) {
+	cs := CrashState{TearOp: -1}
+	rest := s
+	bad := func() (CrashState, error) {
+		return CrashState{}, fmt.Errorf("crashenum: bad state descriptor %q", s)
+	}
+	if !strings.HasPrefix(rest, "E") {
+		return bad()
+	}
+	rest = rest[1:]
+	cut := strings.IndexAny(rest, "K")
+	if cut < 0 {
+		return bad()
+	}
+	e, err := strconv.Atoi(rest[:cut])
+	if err != nil {
+		return bad()
+	}
+	cs.Epoch = e
+	rest = rest[cut+1:]
+	num := func() (int, bool) {
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return 0, false
+		}
+		n, _ := strconv.Atoi(rest[:i])
+		rest = rest[i:]
+		return n, true
+	}
+	k, ok := num()
+	if !ok {
+		return bad()
+	}
+	cs.Keep = k
+	if strings.HasPrefix(rest, "D") {
+		rest = rest[1:]
+		for {
+			d, ok := num()
+			if !ok {
+				return bad()
+			}
+			cs.Drop = append(cs.Drop, d)
+			if !strings.HasPrefix(rest, ",") {
+				break
+			}
+			rest = rest[1:]
+		}
+	}
+	if strings.HasPrefix(rest, "T") {
+		rest = rest[1:]
+		op, ok := num()
+		if !ok || !strings.HasPrefix(rest, ":") {
+			return bad()
+		}
+		rest = rest[1:]
+		sec, ok := num()
+		if !ok {
+			return bad()
+		}
+		cs.TearOp, cs.TearSectors = op, sec
+	}
+	if rest != "" {
+		return bad()
+	}
+	return cs, nil
+}
+
+// splitEpochs groups a journal into per-epoch op lists, indexed by
+// epoch number (epochs with no writes get empty slices).
+func splitEpochs(journal []WriteOp) [][]WriteOp {
+	maxE := 0
+	for _, op := range journal {
+		if op.Epoch > maxE {
+			maxE = op.Epoch
+		}
+	}
+	out := make([][]WriteOp, maxE+1)
+	for _, op := range journal {
+		out[op.Epoch] = append(out[op.Epoch], op)
+	}
+	return out
+}
+
+// applyState applies the crash-epoch portion of cs onto img (which
+// must already hold every earlier epoch).
+func applyState(img []byte, epochOps []WriteOp, cs CrashState) {
+	dropped := make(map[int]bool, len(cs.Drop))
+	for _, d := range cs.Drop {
+		dropped[d] = true
+	}
+	for i := 0; i < cs.Keep && i < len(epochOps); i++ {
+		if dropped[i] {
+			continue
+		}
+		data := epochOps[i].Data
+		if i == cs.TearOp {
+			data = data[:cs.TearSectors*disk.SectorSize]
+		}
+		copy(img[epochOps[i].Off:], data)
+	}
+}
+
+// MaterializeState builds the crash image of cs from a full journal,
+// starting from a zeroed device of the given size. It is the
+// random-access companion of ForEachState, used for replay and
+// shrinking.
+func MaterializeState(journal []WriteOp, size int64, cs CrashState) []byte {
+	img := make([]byte, size)
+	epochs := splitEpochs(journal)
+	for e := 0; e < cs.Epoch && e < len(epochs); e++ {
+		for _, op := range epochs[e] {
+			copy(img[op.Off:], op.Data)
+		}
+	}
+	if cs.Epoch < len(epochs) {
+		applyState(img, epochs[cs.Epoch], cs)
+	}
+	return img
+}
+
+// ForEachState enumerates crash states of the journal in epoch order,
+// starting at startEpoch, and calls fn with each state and its
+// materialized image. The image is reused across calls; fn must not
+// retain it. fn returns false to stop early (budget exhausted).
+//
+// For every epoch E the enumeration yields:
+//   - every write prefix K = 0..len(E);
+//   - for each prefix, single-drop states losing one of the last
+//     `window` writes before the prefix end to reordering, plus a few
+//     seeded multi-drop subsets per epoch;
+//   - seeded torn variants of the final in-flight write and of writes
+//     inside the reorder window (a sector prefix of the write lands).
+//
+// Duplicate images (by content hash) are skipped; the caller sees each
+// distinct crash image exactly once.
+func ForEachState(journal []WriteOp, size int64, startEpoch, window int, seed int64, fn func(cs CrashState, img []byte) bool) {
+	if window <= 0 {
+		window = 3
+	}
+	epochs := splitEpochs(journal)
+	base := make([]byte, size)
+	for e := 0; e < startEpoch && e < len(epochs); e++ {
+		for _, op := range epochs[e] {
+			copy(base[op.Off:], op.Data)
+		}
+	}
+	img := make([]byte, size)
+	seen := make(map[[sha256.Size]byte]bool)
+	rng := rand.New(rand.NewSource(seed ^ 0x633d9acb))
+	emit := func(cs CrashState, ops []WriteOp) bool {
+		copy(img, base)
+		applyState(img, ops, cs)
+		h := sha256.Sum256(img)
+		if seen[h] {
+			return true
+		}
+		seen[h] = true
+		return fn(cs, img)
+	}
+	for e := startEpoch; e < len(epochs); e++ {
+		ops := epochs[e]
+		for k := 0; k <= len(ops); k++ {
+			if !emit(CrashState{Epoch: e, Keep: k, TearOp: -1}, ops) {
+				return
+			}
+			lo := k - window
+			if lo < 0 {
+				lo = 0
+			}
+			// Reordering lost one write that an in-order model would
+			// have applied before the crash point.
+			for d := lo; d < k-1; d++ {
+				if !emit(CrashState{Epoch: e, Keep: k, Drop: []int{d}, TearOp: -1}, ops) {
+					return
+				}
+			}
+			// Torn tails of the final in-flight write: every sector
+			// prefix for small writes, seeded samples for large ones
+			// (checkpoint regions span hundreds of sectors).
+			if k > 0 {
+				if secs := ops[k-1].Sectors(); secs > 1 {
+					const maxTears = 8
+					if secs-1 <= maxTears {
+						for t := 1; t < secs; t++ {
+							if !emit(CrashState{Epoch: e, Keep: k, TearOp: k - 1, TearSectors: t}, ops) {
+								return
+							}
+						}
+					} else {
+						for i := 0; i < maxTears; i++ {
+							t := 1 + rng.Intn(secs-1)
+							if !emit(CrashState{Epoch: e, Keep: k, TearOp: k - 1, TearSectors: t}, ops) {
+								return
+							}
+						}
+					}
+				}
+			}
+			// A torn write inside the reorder window: an earlier
+			// in-flight write partially landed while later ones
+			// completed.
+			if k > 1 {
+				d := lo + rng.Intn(k-1-lo)
+				if secs := ops[d].Sectors(); secs > 1 {
+					t := rng.Intn(secs - 1)
+					if !emit(CrashState{Epoch: e, Keep: k, TearOp: d, TearSectors: t}, ops) {
+						return
+					}
+				}
+			}
+		}
+		// A few multi-drop subsets per epoch: reordering lost several
+		// writes at once.
+		if n := len(ops); n > 2 {
+			for i := 0; i < 4; i++ {
+				k := 2 + rng.Intn(n-1)
+				lo := k - window
+				if lo < 0 {
+					lo = 0
+				}
+				var drop []int
+				for d := lo; d < k-1; d++ {
+					if rng.Intn(2) == 1 {
+						drop = append(drop, d)
+					}
+				}
+				if len(drop) < 2 {
+					continue
+				}
+				if !emit(CrashState{Epoch: e, Keep: k, Drop: drop, TearOp: -1}, ops) {
+					return
+				}
+			}
+		}
+		// Advance the rolling base past this epoch.
+		for _, op := range ops {
+			copy(base[op.Off:], op.Data)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package crashenum
+
+import (
+	"bytes"
+	"fmt"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// probe classifies the recovered presence of one unit. full means the
+// unit's entire committed snapshot is intact; none means no effect of
+// the unit survived recovery. A committed unit must always be one of
+// the two — anything in between is a broken atomicity guarantee.
+//
+// Allocation is deliberately excluded from "effect": per paper §3.3,
+// allocations are simple operations applied unconditionally at
+// recovery, so an uncommitted unit may leave behind an *empty* list
+// (the sweep frees leaked blocks, but an empty list is
+// indistinguishable from a committed empty list and stays). What must
+// never survive without the commit record is list membership or block
+// data.
+func (u *unitFact) probe(d *core.LLD, bsize int) (full, none bool, desc string) {
+	full, none = u.committed, true
+	snap := make(map[core.ListID]*listFact, len(u.lists))
+	for i := range u.lists {
+		snap[u.lists[i].id] = &u.lists[i]
+	}
+	listed := make(map[core.BlockID]bool)
+	buf := make([]byte, bsize)
+	for _, id := range u.allLists {
+		members, err := d.ListBlocks(seg.SimpleARU, id)
+		if err != nil {
+			// List does not exist: no trace, but a committed unit's
+			// snapshot is not intact.
+			full = false
+			desc = fmt.Sprintf("list %d: %v", id, err)
+			continue
+		}
+		if len(members) > 0 {
+			none = false
+			desc = fmt.Sprintf("list %d has %d members", id, len(members))
+		}
+		lf := snap[id]
+		if lf == nil {
+			continue // aborted unit: membership already flagged via none
+		}
+		if !blocksEqual(members, lf.members) {
+			full = false
+			desc = fmt.Sprintf("list %d members %v, committed %v", id, members, lf.members)
+			continue
+		}
+		for _, b := range members {
+			listed[b] = true
+			if err := d.Read(seg.SimpleARU, b, buf); err != nil {
+				full = false
+				desc = fmt.Sprintf("list %d block %d: %v", id, b, err)
+			} else if !bytes.Equal(buf, lf.content[b]) {
+				full = false
+				desc = fmt.Sprintf("list %d block %d content differs from committed snapshot", id, b)
+			}
+		}
+	}
+	// Every block the unit ever allocated that did not survive onto a
+	// committed list must be unallocated after recovery: either its
+	// allocation was never replayed, or the sweep freed it as a leak.
+	for _, b := range u.allBlocks {
+		if listed[b] {
+			continue
+		}
+		if _, err := d.StatBlock(seg.SimpleARU, b); err == nil {
+			full = false
+			none = false
+			desc = fmt.Sprintf("block %d still allocated", b)
+		}
+	}
+	return full, none, desc
+}
+
+// checkImage mounts one crash image through full recovery and checks
+// the oracle. It returns a description of every violation found (nil
+// for a clean state). Panics inside recovery or the checks are
+// converted into violations.
+func (res *runResult) checkImage(cs CrashState, img []byte) (viols []string) {
+	defer func() {
+		if p := recover(); p != nil {
+			viols = append(viols, fmt.Sprintf("panic during recovery/check: %v", p))
+		}
+	}()
+	dev := disk.FromImage(img, disk.Geometry{})
+	d, _, err := core.OpenReport(dev, res.params)
+	if err != nil {
+		return []string{fmt.Sprintf("recovery failed: %v", err)}
+	}
+	if err := d.VerifyInternal(); err != nil {
+		viols = append(viols, fmt.Sprintf("internal verification: %v", err))
+	}
+	E := cs.Epoch
+	bsize := res.params.Layout.BlockSize
+
+	for _, u := range res.units {
+		full, none, desc := u.probe(d, bsize)
+		switch {
+		case u.committed && u.durableEpoch >= 0 && u.durableEpoch <= E:
+			if !full {
+				viols = append(viols, fmt.Sprintf(
+					"unit %d: committed and durable (flush epoch %d ≤ crash epoch %d) but not intact: %s",
+					u.idx, u.durableEpoch, E, desc))
+			}
+		case u.committed:
+			if !full && !none {
+				viols = append(viols, fmt.Sprintf(
+					"unit %d: committed but recovered partially (not all-or-nothing): %s", u.idx, desc))
+			}
+		default:
+			if !none {
+				viols = append(viols, fmt.Sprintf(
+					"unit %d: aborted but traces survived recovery: %s", u.idx, desc))
+			}
+		}
+	}
+
+	buf := make([]byte, bsize)
+	for i, pb := range res.pool {
+		floor := 0
+		for _, g := range pb.gens {
+			if g.durableEpoch >= 0 && g.durableEpoch <= E && g.gen > floor {
+				floor = g.gen
+			}
+		}
+		if err := d.Read(seg.SimpleARU, pb.id, buf); err != nil {
+			viols = append(viols, fmt.Sprintf("pool block %d unreadable: %v", pb.id, err))
+			continue
+		}
+		got := 0
+		for g := len(pb.gens); g >= 1; g-- {
+			if bytes.Equal(buf, poolPayload(bsize, i, g)) {
+				got = g
+				break
+			}
+		}
+		switch {
+		case got == 0:
+			viols = append(viols, fmt.Sprintf(
+				"pool block %d: content matches no issued generation (torn simple write?)", pb.id))
+		case got < floor:
+			viols = append(viols, fmt.Sprintf(
+				"pool block %d: recovered generation %d older than durable floor %d at crash epoch %d",
+				pb.id, got, floor, E))
+		}
+	}
+
+	// The automatic post-recovery sweep already ran; a second sweep
+	// finding anything means recovery left leaked allocations behind.
+	if n, err := d.CheckDisk(); err != nil {
+		viols = append(viols, fmt.Sprintf("post-recovery sweep: %v", err))
+	} else if n != 0 {
+		viols = append(viols, fmt.Sprintf("second consistency sweep freed %d blocks (first left leaks)", n))
+	}
+	return viols
+}

@@ -1,0 +1,184 @@
+package crashenum
+
+import (
+	"fmt"
+
+	"aru/internal/workload"
+)
+
+// Options configures a checker run.
+type Options struct {
+	// Seed is the first workload seed; Seeds consecutive seeds run
+	// (default 1 seed).
+	Seed  int64
+	Seeds int
+	// MaxStates bounds the total number of distinct crash states
+	// explored across all runs (0 = unlimited).
+	MaxStates int
+	// ReorderWindow bounds how far back reordering may lose a write
+	// within the crash epoch (default 3).
+	ReorderWindow int
+	// Mixed runs the mixed-ARU workload; FS runs the file-system
+	// workload. Both default to Mixed only.
+	Mixed bool
+	FS    bool
+	// MixedParams sizes the mixed workload (zero = defaults).
+	MixedParams workload.MixedParams
+	// Inject selects a deliberate engine bug ("nosync",
+	// "untagged-replay") to validate the oracle; "" checks the real
+	// engine.
+	Inject string
+	// MaxViolationsPerRun stops checking a run's remaining states
+	// after this many violations (default 3); the checker still
+	// reports the run as failing.
+	MaxViolationsPerRun int
+	// NoShrink skips minimizing failures (shrinking re-runs recovery
+	// many times).
+	NoShrink bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Violation is one oracle failure, with everything needed to replay
+// it: the workload kind, its seed, and the (shrunk) crash state.
+type Violation struct {
+	Workload string
+	Seed     int64
+	State    CrashState // as found
+	Shrunk   CrashState // minimal failing state
+	Desc     []string   // oracle output for the shrunk state
+	Artifact string     // replayable descriptor for -replay
+}
+
+// Report summarizes a checker run.
+type Report struct {
+	Runs       int
+	States     int // distinct crash states checked
+	Violations []Violation
+}
+
+// Run executes the configured workloads, enumerates the crash states
+// of each execution, and checks every state against the oracle.
+func Run(o Options) (Report, error) {
+	if o.Seeds <= 0 {
+		o.Seeds = 1
+	}
+	if o.MaxViolationsPerRun <= 0 {
+		o.MaxViolationsPerRun = 3
+	}
+	if !o.Mixed && !o.FS {
+		o.Mixed = true
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var rpt Report
+	budgetLeft := func() int {
+		if o.MaxStates == 0 {
+			return -1
+		}
+		return o.MaxStates - rpt.States
+	}
+	for s := int64(0); s < int64(o.Seeds); s++ {
+		seed := o.Seed + s
+		if o.Mixed {
+			if err := runOne(&rpt, o, "mixed", seed, logf, budgetLeft); err != nil {
+				return rpt, err
+			}
+		}
+		if o.FS {
+			if err := runOne(&rpt, o, "fs", seed, logf, budgetLeft); err != nil {
+				return rpt, err
+			}
+		}
+		if o.MaxStates > 0 && rpt.States >= o.MaxStates {
+			break
+		}
+	}
+	return rpt, nil
+}
+
+// runOne executes one workload instance and checks its crash states.
+func runOne(rpt *Report, o Options, kind string, seed int64, logf func(string, ...any), budgetLeft func() int) error {
+	var (
+		journal    []WriteOp
+		size       int64
+		startEpoch int
+		check      func(cs CrashState, img []byte) []string
+	)
+	switch kind {
+	case "mixed":
+		res, err := runMixed(seed, o.MixedParams, o.Inject)
+		if err != nil {
+			return fmt.Errorf("crashenum: mixed workload seed %d: %w", seed, err)
+		}
+		journal, size, startEpoch = res.rec.Journal(), res.rec.Size(), res.startEpoch
+		check = res.checkImage
+	case "fs":
+		res, err := runFS(seed, o.Inject)
+		if err != nil {
+			return fmt.Errorf("crashenum: fs workload seed %d: %w", seed, err)
+		}
+		journal, size, startEpoch = res.rec.Journal(), res.rec.Size(), res.startEpoch
+		check = res.checkImage
+	default:
+		return fmt.Errorf("crashenum: unknown workload %q", kind)
+	}
+	rpt.Runs++
+	violations := 0
+	ForEachState(journal, size, startEpoch, o.ReorderWindow, seed, func(cs CrashState, img []byte) bool {
+		rpt.States++
+		if viols := check(cs, img); len(viols) > 0 {
+			violations++
+			v := Violation{Workload: kind, Seed: seed, State: cs, Shrunk: cs, Desc: viols}
+			if !o.NoShrink {
+				v.Shrunk = Shrink(cs, func(cand CrashState) bool {
+					return len(check(cand, MaterializeState(journal, size, cand))) > 0
+				})
+				v.Desc = check(v.Shrunk, MaterializeState(journal, size, v.Shrunk))
+			}
+			v.Artifact = fmt.Sprintf("-workloads %s -seed %d -replay %s", kind, seed, v.Shrunk)
+			rpt.Violations = append(rpt.Violations, v)
+			logf("VIOLATION %s seed=%d state=%s shrunk=%s: %v", kind, seed, v.State, v.Shrunk, v.Desc)
+			if violations >= o.MaxViolationsPerRun {
+				return false
+			}
+		}
+		if left := budgetLeft(); left >= 0 && left <= 0 {
+			return false
+		}
+		return true
+	})
+	logf("%s seed=%d: %d distinct states so far, %d violations", kind, seed, rpt.States, len(rpt.Violations))
+	return nil
+}
+
+// Replay re-runs one workload and checks exactly one crash state,
+// returning the oracle's findings. It is the -replay path of
+// cmd/aru-crashcheck: a failure artifact (workload, seed, state
+// descriptor) reproduces deterministically.
+func Replay(kind string, seed int64, o Options, cs CrashState) ([]string, error) {
+	var (
+		journal []WriteOp
+		size    int64
+		check   func(cs CrashState, img []byte) []string
+	)
+	switch kind {
+	case "mixed":
+		res, err := runMixed(seed, o.MixedParams, o.Inject)
+		if err != nil {
+			return nil, err
+		}
+		journal, size, check = res.rec.Journal(), res.rec.Size(), res.checkImage
+	case "fs":
+		res, err := runFS(seed, o.Inject)
+		if err != nil {
+			return nil, err
+		}
+		journal, size, check = res.rec.Journal(), res.rec.Size(), res.checkImage
+	default:
+		return nil, fmt.Errorf("crashenum: unknown workload %q", kind)
+	}
+	return check(cs, MaterializeState(journal, size, cs)), nil
+}

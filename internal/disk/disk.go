@@ -14,6 +14,7 @@ package disk
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -154,6 +155,17 @@ type FaultPlan struct {
 	// value means the fatal write is lost entirely; 0 means all of it
 	// lands (crash strictly after the write).
 	TornSectors int
+	// TornHistory makes the crash tear *any* write still in flight, not
+	// just the fatal one: when a crash triggers — via CrashAfterWrites
+	// or Crash — up to this many of the most recent writes since the
+	// last completed Sync may be deterministically rolled back to a torn
+	// sector prefix (or revoked entirely), newest first, driven by
+	// TornSeed. 0 disables; only the fatal write can then tear. Sync is
+	// the barrier: writes acknowledged by a completed Sync never tear.
+	TornHistory int
+	// TornSeed seeds the deterministic tear decisions taken for the
+	// TornHistory window, so a failing crash state can be replayed.
+	TornSeed int64
 	// WriteErrorEvery injects a transient write error on every Nth
 	// write request (0 disables). The failed write is not applied.
 	WriteErrorEvery int64
@@ -171,6 +183,18 @@ type Sim struct {
 	crashed bool
 	plan    FaultPlan
 	writes  int64 // total write requests issued (for fault triggers)
+	// unsynced records the pre-image of every write since the last
+	// completed Sync, newest last, so a crash can roll writes back to a
+	// torn prefix. Maintained only while plan.TornHistory > 0.
+	unsynced []preImage
+}
+
+// preImage remembers what one write overwrote, so the crash handler can
+// revoke the write's suffix (or all of it).
+type preImage struct {
+	off   int64
+	prior []byte // contents before the write
+	fresh []byte // what the write put there (re-applied up to the tear)
 }
 
 var _ Disk = (*Sim)(nil)
@@ -189,6 +213,15 @@ func NewSim(capacity int64, g Geometry) *Sim {
 // for unit tests that only care about contents.
 func NewMem(capacity int64) *Sim {
 	return NewSim(capacity, Geometry{})
+}
+
+// FromImage returns a simulated disk whose initial contents are a copy
+// of img, using geometry g. The image length is rounded down to whole
+// sectors, like NewSim.
+func FromImage(img []byte, g Geometry) *Sim {
+	s := NewSim(int64(len(img)), g)
+	copy(s.store, img)
+	return s
 }
 
 // SetFaultPlan installs a fault-injection plan. It may be called at any
@@ -228,10 +261,47 @@ func (s *Sim) Crashed() bool {
 
 // Crash triggers an immediate simulated crash: all subsequent I/O fails
 // with ErrCrashed until Image/Reopen is used to recover the contents.
+// With FaultPlan.TornHistory set, un-synced writes may be rolled back
+// to torn prefixes, as for a crash triggered by CrashAfterWrites.
 func (s *Sim) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crashed = true
+	s.tearHistoryLocked()
+}
+
+// tearHistoryLocked deterministically revokes suffixes of the writes
+// still in flight (issued since the last completed Sync), modeling a
+// device that reorders and loses cached writes at power failure. The
+// last plan.TornHistory un-synced writes are eligible; each is kept
+// whole, torn to a sector prefix, or revoked entirely, per an RNG
+// seeded with plan.TornSeed.
+func (s *Sim) tearHistoryLocked() {
+	if s.plan.TornHistory <= 0 || len(s.unsynced) == 0 {
+		s.unsynced = nil
+		return
+	}
+	window := s.unsynced
+	if len(window) > s.plan.TornHistory {
+		window = window[len(window)-s.plan.TornHistory:]
+	}
+	// Rewind the whole window (newest first exactly undoes it), then
+	// re-apply each write in order with its torn length, so overlapping
+	// writes resolve consistently.
+	for i := len(window) - 1; i >= 0; i-- {
+		w := window[i]
+		copy(s.store[w.off:w.off+int64(len(w.prior))], w.prior)
+	}
+	rng := rand.New(rand.NewSource(s.plan.TornSeed))
+	for _, w := range window {
+		sectors := len(w.fresh) / SectorSize
+		keep := sectors
+		if rng.Intn(2) == 1 {
+			keep = rng.Intn(sectors) // 0 = revoked entirely
+		}
+		copy(s.store[w.off:w.off+int64(keep*SectorSize)], w.fresh[:keep*SectorSize])
+	}
+	s.unsynced = nil
 }
 
 // Image returns a copy of the current medium contents. Combined with
@@ -250,6 +320,13 @@ func (s *Sim) Reopen(img []byte) *Sim {
 	n := NewSim(int64(len(img)), s.geom)
 	copy(n.store, img)
 	return n
+}
+
+// Recycle models a power cycle: it returns a fresh, uncrashed disk
+// holding the current medium contents (shorthand for Reopen(Image()),
+// the step every crash/recovery test performs).
+func (s *Sim) Recycle() *Sim {
+	return s.Reopen(s.Image())
 }
 
 func (s *Sim) checkRange(p []byte, off int64) error {
@@ -295,8 +372,10 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 		return fmt.Errorf("%w: transient write error at request %d", ErrInjected, s.writes)
 	}
 	if s.plan.CrashAfterWrites > 0 && s.writes > s.plan.CrashAfterWrites {
-		// Fatal write: apply a (possibly torn) prefix, then crash.
+		// Fatal write: tear the in-flight history, apply a (possibly
+		// torn) prefix of the fatal write itself, then crash.
 		s.crashed = true
+		s.tearHistoryLocked()
 		if s.plan.TornSectors >= 0 {
 			n := int64(len(p))
 			if s.plan.TornSectors > 0 {
@@ -309,6 +388,13 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 		}
 		return ErrCrashed
 	}
+	if s.plan.TornHistory > 0 {
+		pre := preImage{off: off,
+			prior: make([]byte, len(p)), fresh: make([]byte, len(p))}
+		copy(pre.prior, s.store[off:off+int64(len(p))])
+		copy(pre.fresh, p)
+		s.unsynced = append(s.unsynced, pre)
+	}
 	copy(s.store[off:off+int64(len(p))], p)
 	s.stats.Writes++
 	s.stats.BytesWritten += int64(len(p))
@@ -318,7 +404,8 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 }
 
 // Sync implements Disk. The simulator applies writes synchronously, so
-// Sync only accounts the request.
+// Sync only accounts the request — and, as the reorder barrier, settles
+// the in-flight writes a later crash could otherwise tear.
 func (s *Sim) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -326,5 +413,6 @@ func (s *Sim) Sync() error {
 		return ErrCrashed
 	}
 	s.stats.Syncs++
+	s.unsynced = nil
 	return nil
 }

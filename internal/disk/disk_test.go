@@ -232,3 +232,137 @@ func TestManualCrash(t *testing.T) {
 		t.Fatalf("write after manual crash: %v", err)
 	}
 }
+
+// TestTornHistoryDeterministic: with TornHistory set, a crash rolls
+// un-synced writes back to seeded torn prefixes — the same seed always
+// yields the same image, a different seed a (generally) different one,
+// and writes settled by Sync never tear.
+func TestTornHistoryDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		d := NewMem(1 << 20)
+		d.SetFaultPlan(FaultPlan{TornHistory: 8, TornSeed: seed})
+		// Durable prelude: settled by Sync, must survive any crash.
+		if err := d.WriteAt(bytes.Repeat([]byte{0xAA}, 1024), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// In-flight window: eligible to tear.
+		for i := 0; i < 6; i++ {
+			buf := bytes.Repeat([]byte{byte(0x10 + i)}, 2048)
+			if err := d.WriteAt(buf, int64(4096+i*4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Crash()
+		return d.Image()
+	}
+	a, b, c := run(7), run(7), run(8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different torn images")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical torn images (suspicious)")
+	}
+	// Synced region intact in every variant.
+	for _, img := range [][]byte{a, c} {
+		for i := 0; i < 1024; i++ {
+			if img[i] != 0xAA {
+				t.Fatalf("synced write torn at byte %d", i)
+			}
+		}
+	}
+	// Every in-flight write is a clean sector prefix of either the old
+	// (zero) or new contents — no mid-sector tears, no foreign bytes.
+	for i := 0; i < 6; i++ {
+		off := 4096 + i*4096
+		want := byte(0x10 + i)
+		for s := 0; s < 4; s++ {
+			sec := a[off+s*SectorSize : off+(s+1)*SectorSize]
+			if sec[0] != 0 && sec[0] != want {
+				t.Fatalf("write %d sector %d has foreign byte %#x", i, s, sec[0])
+			}
+			for _, bb := range sec {
+				if bb != sec[0] {
+					t.Fatalf("write %d sector %d torn mid-sector", i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestTornHistoryWithFatalWrite: the CrashAfterWrites path composes
+// with history tearing — the fatal write obeys TornSectors while the
+// preceding un-synced writes tear per the seed.
+func TestTornHistoryWithFatalWrite(t *testing.T) {
+	d := NewMem(1 << 20)
+	d.SetFaultPlan(FaultPlan{
+		CrashAfterWrites: 2, TornSectors: 1,
+		TornHistory: 4, TornSeed: 42,
+	})
+	if err := d.WriteAt(bytes.Repeat([]byte{0x01}, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(bytes.Repeat([]byte{0x02}, 1024), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(bytes.Repeat([]byte{0x03}, 1024), 8192); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	img := d.Image()
+	// Fatal write: exactly one sector per TornSectors.
+	if img[8192] != 0x03 || img[8192+SectorSize] != 0 {
+		t.Fatal("fatal write did not honor TornSectors")
+	}
+	// History writes: whole-sector prefixes of old or new contents.
+	for _, off := range []int{0, 4096} {
+		for s := 0; s < 2; s++ {
+			sec := img[off+s*SectorSize : off+(s+1)*SectorSize]
+			for _, bb := range sec {
+				if bb != sec[0] {
+					t.Fatalf("history write at %d sector %d torn mid-sector", off, s)
+				}
+			}
+		}
+	}
+	// Replaying with the same plan on the same ops is reproducible.
+	d2 := NewMem(1 << 20)
+	d2.SetFaultPlan(FaultPlan{
+		CrashAfterWrites: 2, TornSectors: 1,
+		TornHistory: 4, TornSeed: 42,
+	})
+	_ = d2.WriteAt(bytes.Repeat([]byte{0x01}, 1024), 0)
+	_ = d2.WriteAt(bytes.Repeat([]byte{0x02}, 1024), 4096)
+	_ = d2.WriteAt(bytes.Repeat([]byte{0x03}, 1024), 8192)
+	if !bytes.Equal(img, d2.Image()) {
+		t.Fatal("torn-history crash not reproducible")
+	}
+}
+
+// TestFromImageAndRecycle: FromImage copies the image (no aliasing) and
+// Recycle is a power cycle — fresh uncrashed device, same contents.
+func TestFromImageAndRecycle(t *testing.T) {
+	img := make([]byte, 4096)
+	img[0] = 0x7F
+	d := FromImage(img, Geometry{})
+	img[0] = 0 // mutating the source must not affect the device
+	got := make([]byte, 512)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x7F {
+		t.Fatal("FromImage aliased or lost the source image")
+	}
+	d.Crash()
+	d2 := d.Recycle()
+	if d2.Crashed() {
+		t.Fatal("recycled device still crashed")
+	}
+	if err := d2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x7F {
+		t.Fatal("contents lost across Recycle")
+	}
+}

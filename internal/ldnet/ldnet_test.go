@@ -327,7 +327,7 @@ func TestAbortOnDisconnect(t *testing.T) {
 	if err := backend.Close(); err != nil {
 		t.Fatalf("close backend: %v", err)
 	}
-	dev2 := dev.Reopen(dev.Image())
+	dev2 := dev.Recycle()
 	backend2, rep, err := core.OpenReport(dev2, core.Params{})
 	if err != nil {
 		t.Fatalf("reopen: %v", err)

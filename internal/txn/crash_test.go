@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"aru/internal/core"
+	"aru/internal/crashenum"
 	"aru/internal/disk"
 	"aru/internal/seg"
 )
@@ -104,7 +105,7 @@ func TestCrashSweepConservation(t *testing.T) {
 		if !dev.Crashed() {
 			continue
 		}
-		d2, err := core.Open(dev.Reopen(dev.Image()), core.Params{})
+		d2, err := crashenum.Recover(dev, core.Params{})
 		if err != nil {
 			continue // crash during Format
 		}

@@ -1,0 +1,89 @@
+package workload
+
+import "testing"
+
+// TestMixedScriptDeterministic: the same seed and params must always
+// produce the identical script — crash-state artifacts replay by
+// re-running the generator.
+func TestMixedScriptDeterministic(t *testing.T) {
+	a := MixedScript(7, MixedParams{})
+	b := MixedScript(7, MixedParams{})
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if c := MixedScript(8, MixedParams{}); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical scripts")
+		}
+	}
+}
+
+// TestMixedScriptValid replays scripts against an abstract model and
+// checks the structural guarantees the executor relies on: units are
+// opened before use and closed exactly once, every unit closes by the
+// end, per-unit ops only target open units, checkpoints only happen
+// with no unit open, and the script ends with a flush.
+func TestMixedScriptValid(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := MixedParams{Units: 30}
+		ops := MixedScript(seed, p)
+		open := map[int]bool{}
+		closed := map[int]bool{}
+		commits, aborts := 0, 0
+		for i, op := range ops {
+			switch op.Kind {
+			case MixedBegin:
+				if open[op.Unit] || closed[op.Unit] {
+					t.Fatalf("seed %d op %d: unit %d begun twice", seed, i, op.Unit)
+				}
+				open[op.Unit] = true
+			case MixedNewList, MixedNewBlock, MixedRewrite, MixedDelete:
+				if !open[op.Unit] {
+					t.Fatalf("seed %d op %d: %v targets unopened unit %d", seed, i, op.Kind, op.Unit)
+				}
+			case MixedEnd, MixedAbort:
+				if !open[op.Unit] {
+					t.Fatalf("seed %d op %d: close of unopened unit %d", seed, i, op.Unit)
+				}
+				delete(open, op.Unit)
+				closed[op.Unit] = true
+				if op.Kind == MixedEnd {
+					commits++
+				} else {
+					aborts++
+				}
+			case MixedCheckpoint:
+				if len(open) != 0 {
+					t.Fatalf("seed %d op %d: checkpoint with %d units open", seed, i, len(open))
+				}
+			case MixedPoolWrite, MixedFlush:
+			default:
+				t.Fatalf("seed %d op %d: unknown kind %v", seed, i, op.Kind)
+			}
+		}
+		if len(open) != 0 {
+			t.Fatalf("seed %d: %d units never closed", seed, len(open))
+		}
+		if commits+aborts != p.Units {
+			t.Fatalf("seed %d: %d commits + %d aborts, want %d units", seed, commits, aborts, p.Units)
+		}
+		if commits == 0 || aborts == 0 {
+			t.Fatalf("seed %d: want a mix of commits (%d) and aborts (%d)", seed, commits, aborts)
+		}
+		if last := ops[len(ops)-1]; last.Kind != MixedFlush {
+			t.Fatalf("seed %d: script ends with %+v, want MixedFlush", seed, last)
+		}
+	}
+}
