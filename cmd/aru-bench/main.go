@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent] [-scale N]
-//	          [-verify] [-csv] [-json out.json] [-metrics-addr :6060]
+//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit]
+//	          [-scale N] [-verify] [-csv] [-json out.json]
+//	          [-metrics-addr :6060]
 //	aru-bench -connect HOST:PORT [-net-ops N]
 //
 // -scale N divides the workload sizes by N for quick runs; the paper's
@@ -12,6 +13,12 @@
 // report ("-" = stdout) including latency-histogram percentiles.
 // -metrics-addr serves /metrics (Prometheus text), /debug/vars and
 // /debug/pprof while the experiments run.
+//
+// -exp groupcommit measures the group-commit broker against the
+// serial-sync Flush path with concurrent committers on a device whose
+// sync costs -gc-syncdelay of wall time. -gc-min-speedup and
+// -gc-min-amort turn the run into a gate: aru-bench exits non-zero
+// unless the -gc-committers row meets both floors.
 //
 // -connect skips the simulated experiments and instead drives a remote
 // logical disk served by aru-serve with the mixed-ARU workload
@@ -32,12 +39,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit")
 	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
 	verify := flag.Bool("verify", false, "verify payloads during read phases")
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	gcCommitters := flag.Int("gc-committers", 8, "groupcommit: concurrent committers in the gated configuration")
+	gcCommits := flag.Int("gc-commits", 25, "groupcommit: durable commits per committer")
+	gcSyncDelay := flag.Duration("gc-syncdelay", 2*time.Millisecond, "groupcommit: simulated device sync latency")
+	gcMinSpeedup := flag.Float64("gc-min-speedup", 0, "groupcommit: fail unless speedup over serial sync reaches this (0 = report only)")
+	gcMinAmort := flag.Float64("gc-min-amort", 0, "groupcommit: fail unless sync amortization reaches this (0 = report only)")
 	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
 	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
 	flag.Parse()
@@ -117,6 +129,34 @@ func main() {
 		}
 		fmt.Println(harness.FormatConcurrent(res))
 		report.AddConcurrent(res)
+		return nil
+	})
+	run("groupcommit", func() error {
+		commits := *gcCommits / *scale
+		if commits < 5 {
+			commits = 5
+		}
+		counts := []int{}
+		for _, n := range []int{1, 2, 4, *gcCommitters} {
+			if n < *gcCommitters && n > 0 {
+				counts = append(counts, n)
+			}
+		}
+		counts = append(counts, *gcCommitters)
+		res, err := harness.RunGroupCommitSweep(counts, commits, *gcSyncDelay)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatGroupCommit(res))
+		gated := res[len(res)-1]
+		if *gcMinSpeedup > 0 && gated.Speedup() < *gcMinSpeedup {
+			return fmt.Errorf("speedup %.2fx with %d committers, below the floor of %.2fx",
+				gated.Speedup(), gated.Committers, *gcMinSpeedup)
+		}
+		if *gcMinAmort > 0 && gated.Amortization() < *gcMinAmort {
+			return fmt.Errorf("sync amortization %.2fx with %d committers, below the floor of %.2fx",
+				gated.Amortization(), gated.Committers, *gcMinAmort)
+		}
 		return nil
 	})
 

@@ -8,8 +8,8 @@
 // Usage:
 //
 //	aru-crashcheck [-seed N] [-seeds N] [-states N] [-reorder-window N]
-//	               [-workloads mixed,fs] [-fs] [-min-states N]
-//	               [-inject none|nosync|untagged-replay]
+//	               [-workloads mixed,fs] [-fs] [-min-states N] [-conc N]
+//	               [-inject none|nosync|untagged-replay|ack-early]
 //	               [-replay E<e>K<k>[D...][T...]] [-v]
 package main
 
@@ -31,7 +31,8 @@ func main() {
 		workloads = flag.String("workloads", "mixed,fs", "comma-separated workloads: mixed, fs")
 		fsOnly    = flag.Bool("fs", false, "shorthand for -workloads fs")
 		minStates = flag.Int("min-states", 0, "fail unless at least this many distinct states were explored")
-		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay")
+		conc      = flag.Int("conc", 0, "mixed-workload concurrent committers per group-commit phase (0 = sequential scripts)")
+		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay, ack-early")
 		replay    = flag.String("replay", "", "replay one crash state descriptor (requires a single workload and seed)")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
@@ -44,6 +45,7 @@ func main() {
 		ReorderWindow: *window,
 		Inject:        *inject,
 	}
+	o.MixedParams.ConcFlushers = *conc
 	if *fsOnly {
 		*workloads = "fs"
 	}

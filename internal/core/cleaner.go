@@ -14,7 +14,7 @@ import (
 // segments to the head of the log, then checkpoints so the victims
 // become reusable. Cleaning requires that no ARU is open.
 func (d *LLD) Clean(target int) (int, error) {
-	d.mu.Lock()
+	d.lockDrained()
 	defer d.mu.Unlock()
 	if d.closed {
 		return 0, ErrClosed
@@ -92,6 +92,13 @@ func (d *LLD) cleanable(s int) (liveBlocks []BlockID, ok bool) {
 	if s == d.curSeg || d.segSeq[s] == 0 || d.segSeq[s] > d.ckptSeq {
 		return nil, false
 	}
+	if _, sealed := d.sealedBySeg[uint32(s)]; sealed {
+		// Sealed but not yet synced: its blocks live only in memory and
+		// in the pending batch; relocation must wait for the sync. (The
+		// seq > ckptSeq check above already excludes it; this is the
+		// explicit invariant.)
+		return nil, false
+	}
 	if d.segPins[s] != 0 || d.segLive[s] == 0 {
 		return nil, false
 	}
@@ -119,6 +126,9 @@ func (d *LLD) pickVictim(exclude map[int]bool) (int, bool) {
 	for s := 0; s < d.params.Layout.NumSegs; s++ {
 		if exclude[s] || s == d.curSeg || d.segSeq[s] == 0 || d.segSeq[s] > d.ckptSeq ||
 			d.segPins[s] != 0 || d.segLive[s] == 0 {
+			continue
+		}
+		if _, sealed := d.sealedBySeg[uint32(s)]; sealed {
 			continue
 		}
 		// Utilization and age for the cost-benefit policy.

@@ -8,21 +8,42 @@ import (
 	"aru/internal/seg"
 )
 
-// Flush writes the current partial segment to disk and syncs the
-// device, making every committed operation persistent (the
-// committed→persistent transition of paper §3.1). Shadow state of open
-// ARUs stays in memory (and in already-written segments, where it is
-// inert until its commit record lands).
+// Flush makes every committed operation persistent (the
+// committed→persistent transition of paper §3.1) and returns once the
+// device sync covering it has completed. Shadow state of open ARUs
+// stays in memory (and in already-written segments, where it is inert
+// until its commit record lands).
+//
+// By default Flush goes through the group-commit broker: concurrent
+// callers share one segment write and one device sync, and the engine
+// lock is not held while the device works (DESIGN.md §11). With
+// Params.NoGroupCommit each call runs the serial path instead.
 func (d *LLD) Flush() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
+	d.stats.Flushes.Add(1)
+	if d.params.NoGroupCommit {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.closed {
+			return ErrClosed
+		}
+		return d.flushLocked()
 	}
-	return d.flushLocked()
+	if d.obs != nil {
+		t0 := d.obs.Now()
+		defer func() { d.obs.ObserveSince(obs.HistGroupCommitWait, t0) }()
+	}
+	return d.forceCommit()
 }
 
+// flushLocked is the serial durability path: it drains any segments a
+// batch leader sealed but has not yet completed, writes the current
+// partial segment, and syncs. Callers hold d.mu and must have ensured
+// the broker is idle (lockDrained / maybeMaintain's guard), so no
+// sealed entry is claimed by an in-flight leader.
 func (d *LLD) flushLocked() error {
+	if err := d.writeSealedLocked(); err != nil {
+		return err
+	}
 	if err := d.writeCurSeg(); err != nil {
 		return err
 	}
@@ -30,7 +51,9 @@ func (d *LLD) flushLocked() error {
 		if err := d.dev.Sync(); err != nil {
 			return fmt.Errorf("lld: sync: %w", err)
 		}
+		d.devDirty = false
 	}
+	d.completeSealedLocked()
 	d.commitsDurable()
 	return nil
 }
@@ -41,7 +64,7 @@ func (d *LLD) flushLocked() error {
 // while ARUs are open: a checkpoint would cut their already-logged
 // entries out of the replay window.
 func (d *LLD) Checkpoint() error {
-	d.mu.Lock()
+	d.lockDrained()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
@@ -55,6 +78,12 @@ func (d *LLD) Checkpoint() error {
 func (d *LLD) checkpointLocked() error {
 	if len(d.arus) != 0 {
 		return fmt.Errorf("%w: cannot checkpoint with %d open ARUs", ErrARUActive, len(d.arus))
+	}
+	if len(d.sealed) != 0 {
+		// Callers flush first, which drains the sealed queue; a
+		// checkpoint over unsynced sealed segments would claim a
+		// FlushedSeq the device does not yet hold.
+		return fmt.Errorf("lld: internal: checkpoint with %d sealed segments pending", len(d.sealed))
 	}
 	var t0 time.Duration
 	if d.obs != nil {
@@ -70,6 +99,7 @@ func (d *LLD) checkpointLocked() error {
 	if err := d.dev.Sync(); err != nil {
 		return fmt.Errorf("lld: sync before checkpoint: %w", err)
 	}
+	d.devDirty = false
 	d.commitsDurable()
 	ck := seg.Checkpoint{
 		CkptTS:     d.ckptTS + 1,
@@ -104,6 +134,7 @@ func (d *LLD) checkpointLocked() error {
 	if err := d.dev.Sync(); err != nil {
 		return fmt.Errorf("lld: sync after checkpoint: %w", err)
 	}
+	d.devDirty = false
 	d.ckptSlot = 1 - d.ckptSlot
 	d.ckptTS = ck.CkptTS
 	d.ckptSeq = ck.FlushedSeq
@@ -120,7 +151,7 @@ func (d *LLD) checkpointLocked() error {
 // instance unusable. Open ARUs are discarded, exactly as a crash would
 // discard them.
 func (d *LLD) Close() error {
-	d.mu.Lock()
+	d.lockDrained()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed

@@ -162,6 +162,19 @@ type Params struct {
 	// unconditionally instead of gating them on the commit record —
 	// a deliberate atomicity bug for validating the crash checker.
 	UnsafeUntaggedReplay bool
+	// UnsafeAckBeforeSync makes the group-commit leader wake its batch
+	// before the device sync runs — the classic broken-broker bug
+	// (durability acknowledged on unsynced segments). It exists solely
+	// so the crash-state checker can prove it detects the bug; never
+	// set it in production. Serial flushes (NoGroupCommit) are not
+	// affected.
+	UnsafeAckBeforeSync bool
+
+	// NoGroupCommit disables the group-commit broker: Flush reverts to
+	// the serial path that holds the engine lock across the device
+	// write and sync. Used as the baseline in benchmarks and available
+	// as an escape hatch.
+	NoGroupCommit bool
 }
 
 func (p Params) withDefaults() Params {
@@ -237,6 +250,9 @@ type Stats struct {
 	EntriesLogged              int64 // summary entries appended
 	RecoveredEntries           int64 // summary entries replayed at recovery
 	RecoveredARUs, DroppedARUs int64 // committed / discarded ARUs at recovery
+	Flushes                    int64 // Flush calls (durability requests)
+	CommitBatches              int64 // group-commit batches that wrote segments
+	BatchedCommits             int64 // commit records made durable via batches
 }
 
 // LLD is a log-structured logical disk with atomic recovery units.
@@ -313,4 +329,31 @@ type LLD struct {
 	freeCache int      // reusable-segment count, refreshed at seals
 	inClean   bool     // reentrancy guard for the cleaner
 	cache     *blockCache
+
+	// Group commit (DESIGN.md §11). gc has its own internal mutex and
+	// is the only field here touched without d.mu; everything else
+	// below is guarded by d.mu like the rest of the struct.
+	gc commitBroker
+	// sealed queues segments sealed by batch leaders whose device
+	// write/sync is pending, in seal (seq) order; sealedBySeg indexes
+	// the same entries by segment index for the read path.
+	sealed      []*sealedSeg
+	sealedBySeg map[uint32]*sealedSeg
+	// spareBuilders pools retired segment builders for double
+	// buffering: a seal hands its builder to the sealed entry and
+	// continues on a spare.
+	spareBuilders []*seg.Builder
+	// devDirty records that the device has unsynced writes (set by
+	// segment/data writes, cleared by a covering sync); wgen
+	// increments with every device write so a leader only clears
+	// devDirty if no write raced its sync.
+	devDirty bool
+	wgen     uint64
+	// reuseQuarantine refcounts segments whose live count went to zero
+	// through a broker seal's promotion: they must not be rewritten
+	// until that seal's batch has synced (see sealBatchLocked).
+	reuseQuarantine map[int]int
+	// sealFrees, when non-nil, collects the segment indexes promote()
+	// frees — set only around the promotion inside sealBatchLocked.
+	sealFrees *[]int
 }

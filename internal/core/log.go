@@ -162,6 +162,11 @@ func (d *LLD) lastTS() uint64 {
 // committed state covered by the new durable watermark, and opens the
 // next segment. A no-op when the builder is empty.
 func (d *LLD) writeCurSeg() error {
+	if d.curSeg < 0 {
+		// Nothing is ever buffered while no segment is open (ensureRoom
+		// picks one before any append), so there is nothing to write.
+		return nil
+	}
 	d.materializeCommitted()
 	for _, e := range d.pendingCommits {
 		d.builder.AddEntry(e)
@@ -179,6 +184,8 @@ func (d *LLD) writeCurSeg() error {
 	if err := d.dev.WriteAt(img, d.params.Layout.SegOff(d.curSeg)); err != nil {
 		return fmt.Errorf("lld: writing segment %d: %w", d.curSeg, err)
 	}
+	d.devDirty = true
+	d.wgen++
 	if d.obs != nil {
 		d.obs.ObserveSince(obs.HistSegFlush, t0)
 		d.obs.Emit(obs.EvSegFlush, 0, uint64(d.curSeg), d.nextSeq)
@@ -210,6 +217,13 @@ func (d *LLD) maybeMaintain() {
 	if d.inClean || len(d.arus) != 0 {
 		return
 	}
+	if len(d.sealed) != 0 {
+		// Sealed-but-unsynced segments are queued (possibly claimed by
+		// an in-flight batch leader): checkpoint and cleaner must wait
+		// until the batch completes. finishBatchLocked re-runs us with
+		// the queue empty.
+		return
+	}
 	if d.params.CheckpointEvery > 0 && d.segsSinceC >= d.params.CheckpointEvery {
 		if err := d.checkpointLocked(); err != nil {
 			return // non-fatal: retried after the next segment write
@@ -231,6 +245,16 @@ func (d *LLD) segReusable(s int) bool {
 	}
 	if d.segPins[s] != 0 || d.segLive[s] != 0 {
 		return false
+	}
+	if d.reuseQuarantine[s] > 0 {
+		// The segment's last live blocks were superseded by a sealed
+		// segment whose batch has not synced yet: rewriting it now
+		// could leave a crash state where the rewrite survives but the
+		// superseding segment does not (DESIGN.md §11).
+		return false
+	}
+	if _, sealed := d.sealedBySeg[uint32(s)]; sealed {
+		return false // defensive: seq > ckptSeq already excludes it
 	}
 	return d.segSeq[s] == 0 || d.segSeq[s] <= d.ckptSeq
 }
@@ -310,6 +334,12 @@ func (d *LLD) promoteBlock(ab *altBlock) {
 	e := d.blocks[ab.id]
 	if e.persist != nil && e.persist.HasData {
 		d.segLive[e.persist.Seg]--
+		if d.sealFrees != nil {
+			// Promotion driven by a broker seal: remember which
+			// segments lost live blocks so they stay quarantined from
+			// reuse until the seal's batch has synced.
+			*d.sealFrees = append(*d.sealFrees, int(e.persist.Seg))
+		}
 	}
 	if ab.deleted {
 		e.persist = nil
@@ -348,6 +378,15 @@ func (d *LLD) promoteList(al *altList) {
 func (d *LLD) readPhys(segIdx, slot uint32, dst []byte) error {
 	if int(segIdx) == d.curSeg {
 		copy(dst, d.builder.BlockData(slot))
+		return nil
+	}
+	if e, ok := d.sealedBySeg[segIdx]; ok {
+		// Sealed by a batch leader, device write/sync still pending (or
+		// failed and awaiting retry): serve from the retained image.
+		// The map is only mutated under the write lock, so this read is
+		// safe under the read lock.
+		bs := d.params.Layout.BlockSize
+		copy(dst, e.img[int(slot)*bs:(int(slot)+1)*bs])
 		return nil
 	}
 	if d.cache != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"aru/internal/disk"
@@ -93,18 +94,21 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	p.Layout = layout
 
 	d := &LLD{
-		params:  p,
-		obs:     p.Tracer,
-		dev:     dev,
-		blocks:  make(map[BlockID]*blockEntry),
-		lists:   make(map[ListID]*listEntry),
-		arus:    make(map[ARUID]*aruState),
-		builder: seg.NewBuilder(layout),
-		segSeq:  make([]uint64, layout.NumSegs),
-		segLive: make([]int32, layout.NumSegs),
-		segPins: make([]int32, layout.NumSegs),
-		cache:   newBlockCache(p.CacheBlocks),
+		params:          p,
+		obs:             p.Tracer,
+		dev:             dev,
+		blocks:          make(map[BlockID]*blockEntry),
+		lists:           make(map[ListID]*listEntry),
+		arus:            make(map[ARUID]*aruState),
+		builder:         seg.NewBuilder(layout),
+		segSeq:          make([]uint64, layout.NumSegs),
+		segLive:         make([]int32, layout.NumSegs),
+		segPins:         make([]int32, layout.NumSegs),
+		cache:           newBlockCache(p.CacheBlocks),
+		sealedBySeg:     make(map[uint32]*sealedSeg),
+		reuseQuarantine: make(map[int]int),
 	}
+	d.gc.cond = sync.NewCond(&d.gc.mu)
 
 	ck, slot, err := loadNewestCheckpoint(dev, layout)
 	if err != nil {

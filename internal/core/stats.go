@@ -39,6 +39,9 @@ type lldStats struct {
 	EntriesLogged              atomic.Int64
 	RecoveredEntries           atomic.Int64
 	RecoveredARUs, DroppedARUs atomic.Int64
+	Flushes                    atomic.Int64
+	CommitBatches              atomic.Int64
+	BatchedCommits             atomic.Int64
 }
 
 // snapshot loads every counter into a plain Stats value. Each load is
@@ -78,5 +81,8 @@ func (s *lldStats) snapshot() Stats {
 		RecoveredEntries:       s.RecoveredEntries.Load(),
 		RecoveredARUs:          s.RecoveredARUs.Load(),
 		DroppedARUs:            s.DroppedARUs.Load(),
+		Flushes:                s.Flushes.Load(),
+		CommitBatches:          s.CommitBatches.Load(),
+		BatchedCommits:         s.BatchedCommits.Load(),
 	}
 }

@@ -98,7 +98,7 @@ func TestCleanEngine(t *testing.T) {
 // deliberately broken engine build must produce violations, and every
 // artifact must reproduce under Replay.
 func TestInjectionsCaught(t *testing.T) {
-	for _, inject := range []string{"nosync", "untagged-replay"} {
+	for _, inject := range []string{"nosync", "untagged-replay", "ack-early"} {
 		t.Run(inject, func(t *testing.T) {
 			o := Options{Seed: 1, Seeds: 2, Mixed: true, FS: true, Inject: inject,
 				MaxStates: 2000, MaxViolationsPerRun: 1}
@@ -133,6 +133,58 @@ func TestInjectionsCaught(t *testing.T) {
 				t.Errorf("state %s also fails the real engine: %v", v.Shrunk, viols)
 			}
 		})
+	}
+}
+
+// TestConcFlushClean explores crash states of the mixed workload with
+// concurrent-committer phases (several goroutines calling Flush at
+// once, coalesced by the group-commit broker) and expects zero
+// violations — one device sync covering many logical commits must
+// still honor the Recorder's sync-epoch barrier model.
+func TestConcFlushClean(t *testing.T) {
+	o := Options{Seed: 1, Seeds: 2, Mixed: true, MaxStates: 250,
+		MixedParams: workload.MixedParams{ConcFlushers: 4}}
+	if testing.Short() {
+		o.Seeds, o.MaxStates = 1, 80
+	}
+	rpt, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rpt.Violations {
+		t.Errorf("%s seed=%d state=%s shrunk=%s: %v", v.Workload, v.Seed, v.State, v.Shrunk, v.Desc)
+	}
+	if rpt.States < o.MaxStates {
+		t.Fatalf("explored only %d states, wanted %d", rpt.States, o.MaxStates)
+	}
+}
+
+// TestConcFlushJournalDeterministic: a script with concurrent-flush
+// phases must still journal deterministically — whichever goroutine
+// leads the first batch seals everything buffered, and later batches
+// find nothing to do. Replay and shrinking depend on this.
+func TestConcFlushJournalDeterministic(t *testing.T) {
+	wp := workload.MixedParams{Units: 12, ConcFlushers: 4}
+	a, err := runMixed(1, wp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runMixed(1, wp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := a.rec.Journal(), b.rec.Journal()
+	if len(ja) != len(jb) {
+		t.Fatalf("journal lengths differ across runs: %d vs %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i].Off != jb[i].Off || ja[i].Epoch != jb[i].Epoch || !bytes.Equal(ja[i].Data, jb[i].Data) {
+			t.Fatalf("journal op %d differs: off %d/%d epoch %d/%d",
+				i, ja[i].Off, jb[i].Off, ja[i].Epoch, jb[i].Epoch)
+		}
+	}
+	if a.rec.Epoch() != b.rec.Epoch() {
+		t.Fatalf("final epochs differ: %d vs %d", a.rec.Epoch(), b.rec.Epoch())
 	}
 }
 

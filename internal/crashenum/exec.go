@@ -24,8 +24,9 @@ func checkerLayout() seg.Layout {
 }
 
 // checkerParams returns the engine configuration for a checker run.
-// inject selects a deliberate bug ("nosync", "untagged-replay") used
-// to validate that the oracle actually catches violations.
+// inject selects a deliberate bug ("nosync", "untagged-replay",
+// "ack-early") used to validate that the oracle actually catches
+// violations.
 func checkerParams(inject string) (core.Params, error) {
 	p := core.Params{
 		Layout:          checkerLayout(),
@@ -38,6 +39,11 @@ func checkerParams(inject string) (core.Params, error) {
 		p.UnsafeNoSyncOnFlush = true
 	case "untagged-replay":
 		p.UnsafeUntaggedReplay = true
+	case "ack-early":
+		// The broken group-commit broker: batch waiters are woken
+		// before dev.Sync runs, so Flush acknowledges durability on
+		// unsynced segments.
+		p.UnsafeAckBeforeSync = true
 	default:
 		return core.Params{}, fmt.Errorf("crashenum: unknown injection %q", inject)
 	}
@@ -260,6 +266,27 @@ func runMixed(seed int64, wp workload.MixedParams, inject string) (*runResult, e
 			}
 		case workload.MixedFlush:
 			if err = d.Flush(); err == nil {
+				markDurable()
+			}
+		case workload.MixedConcFlush:
+			// A group-commit phase: op.Arg goroutines call Flush at
+			// once and the broker may serve them all with one device
+			// sync. The journal stays deterministic regardless of
+			// scheduling: whichever caller leads the first batch seals
+			// everything buffered so far (the script up to here ran
+			// sequentially), and every later batch finds the builder
+			// empty and the device already covered by that batch's
+			// sync, so it performs no I/O at all.
+			errs := make(chan error, op.Arg)
+			for k := 0; k < op.Arg; k++ {
+				go func() { errs <- d.Flush() }()
+			}
+			for k := 0; k < op.Arg; k++ {
+				if ferr := <-errs; ferr != nil && err == nil {
+					err = ferr
+				}
+			}
+			if err == nil {
 				markDurable()
 			}
 		case workload.MixedCheckpoint:

@@ -54,27 +54,32 @@ func NewRecorder(capacity int64) *Recorder {
 func (r *Recorder) ReadAt(p []byte, off int64) error { return r.dev.ReadAt(p, off) }
 
 // WriteAt applies the write to the underlying device and, on success,
-// appends it to the journal tagged with the current epoch.
+// appends it to the journal tagged with the current epoch. The device
+// call and the journal append happen under one lock so that, with
+// concurrent callers (the group-commit engine issues device I/O from
+// several goroutines), a write can never be journaled in a different
+// epoch than the one it hit the device in.
 func (r *Recorder) WriteAt(p []byte, off int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err := r.dev.WriteAt(p, off); err != nil {
 		return err
 	}
-	r.mu.Lock()
 	r.ops = append(r.ops, WriteOp{Off: off, Data: append([]byte(nil), p...), Epoch: r.epoch})
-	r.mu.Unlock()
 	return nil
 }
 
 // Sync completes the current epoch: all journaled writes so far are
 // considered on stable storage, and subsequent writes belong to the
-// next epoch.
+// next epoch. Like WriteAt it holds the lock across the device call,
+// so the epoch increment is atomic with the barrier it models.
 func (r *Recorder) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err := r.dev.Sync(); err != nil {
 		return err
 	}
-	r.mu.Lock()
 	r.epoch++
-	r.mu.Unlock()
 	return nil
 }
 

@@ -25,8 +25,8 @@ type Options struct {
 	// MixedParams sizes the mixed workload (zero = defaults).
 	MixedParams workload.MixedParams
 	// Inject selects a deliberate engine bug ("nosync",
-	// "untagged-replay") to validate the oracle; "" checks the real
-	// engine.
+	// "untagged-replay", "ack-early") to validate the oracle; ""
+	// checks the real engine.
 	Inject string
 	// MaxViolationsPerRun stops checking a run's remaining states
 	// after this many violations (default 3); the checker still

@@ -187,6 +187,11 @@ type Sim struct {
 	// completed Sync, newest last, so a crash can roll writes back to a
 	// torn prefix. Maintained only while plan.TornHistory > 0.
 	unsynced []preImage
+	// syncDelay is a real (wall-clock) latency each Sync sleeps for,
+	// modeling a device cache flush. Zero by default; it exists so
+	// group-commit benchmarks and tests have an actual sync cost to
+	// amortize. It does not advance the virtual clock (stats.Elapsed).
+	syncDelay time.Duration
 }
 
 // preImage remembers what one write overwrote, so the crash handler can
@@ -403,16 +408,35 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 	return nil
 }
 
-// Sync implements Disk. The simulator applies writes synchronously, so
-// Sync only accounts the request — and, as the reorder barrier, settles
-// the in-flight writes a later crash could otherwise tear.
-func (s *Sim) Sync() error {
+// SetSyncDelay makes every subsequent Sync sleep for d of wall-clock
+// time before returning, modeling a device cache flush. The sleep
+// happens outside the simulator's lock, so reads and writes proceed
+// during it (as they would against a real device with a flush in
+// flight).
+func (s *Sim) SetSyncDelay(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.syncDelay = d
+}
+
+// Sync implements Disk. The simulator applies writes synchronously, so
+// Sync only accounts the request — and, as the reorder barrier, settles
+// the in-flight writes a later crash could otherwise tear. With a
+// SetSyncDelay configured it then sleeps, with the lock released;
+// writes issued during the sleep are correctly not covered by the
+// barrier (they were not in unsynced when it settled).
+func (s *Sim) Sync() error {
+	s.mu.Lock()
 	if s.crashed {
+		s.mu.Unlock()
 		return ErrCrashed
 	}
 	s.stats.Syncs++
 	s.unsynced = nil
+	delay := s.syncDelay
+	s.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	return nil
 }

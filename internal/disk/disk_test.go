@@ -366,3 +366,46 @@ func TestFromImageAndRecycle(t *testing.T) {
 		t.Fatal("contents lost across Recycle")
 	}
 }
+
+// TestSyncDelayAndCounter: SetSyncDelay makes each Sync cost real wall
+// time and the Syncs counter tracks every one — the two hooks the
+// group-commit benchmarks and amortization assertions build on.
+func TestSyncDelayAndCounter(t *testing.T) {
+	s := NewMem(1 << 16)
+	for i := 0; i < 3; i++ {
+		if err := s.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	if got := s.Stats().Syncs; got != 3 {
+		t.Fatalf("Syncs counter: got %d, want 3", got)
+	}
+
+	const delay = 20 * time.Millisecond
+	s.SetSyncDelay(delay)
+	t0 := time.Now()
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync with delay: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed < delay {
+		t.Errorf("Sync with %v delay returned after %v", delay, elapsed)
+	}
+	if got := s.Stats().Syncs; got != 4 {
+		t.Errorf("Syncs counter after delayed sync: got %d, want 4", got)
+	}
+
+	// The delay is wall time only: the virtual service-time clock is
+	// untouched by syncs.
+	if got := s.Stats().Elapsed; got != 0 {
+		t.Errorf("sync delay leaked into the virtual clock: %v", got)
+	}
+
+	s.SetSyncDelay(0)
+	t0 = time.Now()
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync after clearing delay: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > delay {
+		t.Errorf("cleared delay still sleeping: %v", elapsed)
+	}
+}

@@ -1,0 +1,102 @@
+package ldnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// TestRemoteCommitCoalescing checks that concurrent durable commits
+// from independent network sessions ride the engine's group-commit
+// broker: on a device with a real sync latency, many CommitDurable
+// RPCs in flight at once must share device syncs instead of paying
+// one each.
+func TestRemoteCommitCoalescing(t *testing.T) {
+	const (
+		clients     = 8
+		commitsEach = 4
+		syncDelay   = 2 * time.Millisecond
+	)
+
+	layout := seg.DefaultLayout(64)
+	dev := disk.NewMem(layout.DiskBytes())
+	backend, err := core.Format(dev, core.Params{Layout: layout})
+	if err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	t.Cleanup(func() { backend.Close() })
+	_, addr := startServer(t, backend)
+
+	conns := make([]*Client, clients)
+	for i := range conns {
+		conns[i] = dialT(t, addr)
+	}
+
+	dev.SetSyncDelay(syncDelay)
+	syncs0 := dev.Stats().Syncs
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i, cl := range conns {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			buf := make([]byte, cl.BlockSize())
+			for j := 0; j < commitsEach; j++ {
+				a, err := cl.BeginARU()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				lst, err := cl.NewList(a)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				b, err := cl.NewBlock(a, lst, core.NilBlock)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				buf[0] = byte(i*commitsEach + j)
+				if err := cl.Write(a, b, buf); err != nil {
+					errCh <- err
+					return
+				}
+				if err := cl.CommitDurable(a); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	dev.SetSyncDelay(0)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatalf("remote commit: %v", err)
+		}
+	}
+
+	commits := int64(clients * commitsEach)
+	syncs := dev.Stats().Syncs - syncs0
+	if syncs >= commits/2 {
+		t.Errorf("%d device syncs for %d remote durable commits; want coalescing (< %d)",
+			syncs, commits, commits/2)
+	}
+	st := backend.Stats()
+	if st.CommitBatches == 0 {
+		t.Error("no commit batches recorded: remote flushes did not ride the broker")
+	}
+	if st.BatchedCommits < commits {
+		t.Errorf("broker saw %d batched commits, want at least %d", st.BatchedCommits, commits)
+	}
+	if st.ARUsCommitted < commits {
+		t.Errorf("engine committed %d ARUs, want at least %d", st.ARUsCommitted, commits)
+	}
+}

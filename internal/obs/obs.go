@@ -64,6 +64,10 @@ const (
 	// (a span enclosing the ARUs it issues). Arg1 = FSOp code.
 	EvFSOpBegin
 	EvFSOpEnd
+	// EvCommitBatch: one group-commit batch completed (a single device
+	// sync covering every commit in the batch). Arg1 = commit records
+	// made durable, Arg2 = segments written.
+	EvCommitBatch
 )
 
 // String implements fmt.Stringer.
@@ -95,6 +99,8 @@ func (k EventKind) String() string {
 		return "fsop-begin"
 	case EvFSOpEnd:
 		return "fsop-end"
+	case EvCommitBatch:
+		return "commit-batch"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -184,6 +190,15 @@ const (
 	HistCheckpoint
 	// HistCleanerPass: one cleaner invocation.
 	HistCleanerPass
+	// HistGroupCommitWait: time one Flush caller spent in the
+	// group-commit broker, from enqueue until its batch's sync
+	// completed (includes leading the batch, for the leader).
+	HistGroupCommitWait
+	// HistCommitBatch: group-commit batch sizes. Not a latency: each
+	// "sample" is the number of commit records one batch made durable,
+	// encoded as that many nanoseconds (Quantile/Mean then read
+	// directly as commits-per-batch).
+	HistCommitBatch
 
 	numHists
 )
@@ -191,13 +206,15 @@ const (
 // histName maps HistID to the exposition name (snake_case, unitless;
 // the Prometheus layer appends "_seconds").
 var histName = [numHists]string{
-	HistRead:          "read",
-	HistWrite:         "write",
-	HistCommitDurable: "commit_durable",
-	HistSegFlush:      "segment_flush",
-	HistRecovery:      "recovery",
-	HistCheckpoint:    "checkpoint",
-	HistCleanerPass:   "cleaner_pass",
+	HistRead:            "read",
+	HistWrite:           "write",
+	HistCommitDurable:   "commit_durable",
+	HistSegFlush:        "segment_flush",
+	HistRecovery:        "recovery",
+	HistCheckpoint:      "checkpoint",
+	HistCleanerPass:     "cleaner_pass",
+	HistGroupCommitWait: "group_commit_wait",
+	HistCommitBatch:     "commit_batch",
 }
 
 // String implements fmt.Stringer.

@@ -32,6 +32,11 @@ const (
 	// MixedCheckpoint takes a table checkpoint. Only generated while
 	// no unit is open (the engine rejects it otherwise).
 	MixedCheckpoint
+	// MixedConcFlush issues Arg concurrent Flush calls (from Arg
+	// goroutines, all at once) and waits for every one — a
+	// group-commit phase: the engine may coalesce them into fewer
+	// device syncs. Generated only when MixedParams.ConcFlushers > 0.
+	MixedConcFlush
 )
 
 // MixedOp is one step of a mixed workload script. Unit is the
@@ -59,6 +64,10 @@ type MixedParams struct {
 	// AbortFrac in percent of units that abort instead of committing
 	// (default 20).
 	AbortFrac int
+	// ConcFlushers, when positive, makes the script include
+	// MixedConcFlush phases of this many concurrent committers
+	// (default 0: no concurrent phases, scripts are fully sequential).
+	ConcFlushers int
 }
 
 func (p MixedParams) withDefaults() MixedParams {
@@ -168,6 +177,11 @@ func MixedScript(seed int64, p MixedParams) []MixedOp {
 			emit(MixedPoolWrite, -1, rng.Intn(p.PoolBlocks))
 		}})
 		acts = append(acts, action{2, func() { emit(MixedFlush, -1, 0) }})
+		if p.ConcFlushers > 0 {
+			acts = append(acts, action{2, func() {
+				emit(MixedConcFlush, -1, p.ConcFlushers)
+			}})
+		}
 		if len(open) == 0 {
 			acts = append(acts, action{1, func() { emit(MixedCheckpoint, -1, 0) }})
 		}
