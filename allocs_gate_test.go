@@ -1,0 +1,134 @@
+package aru_test
+
+// Allocation-budget gates for the engine's hot paths (see
+// internal/alloctest). Each test warms the engine's free lists, then
+// measures the steady-state allocations of one operation and fails if
+// it exceeds its budget. The budgets encode this PR's measured
+// results with a little headroom — before the pooled version-record /
+// buffer / ARU-state arenas, an ARU write+commit cost 10 allocs/op
+// and a durable commit 15; the gates hold them at ≤2 and ≤6.
+//
+// CI runs these in the allocs-gate job without -race (the race
+// detector's instrumentation allocates, so the tests skip themselves
+// under it).
+
+import (
+	"testing"
+
+	"aru"
+	"aru/internal/alloctest"
+)
+
+func gateDisk(t *testing.T, numSegs int) *aru.Disk {
+	t.Helper()
+	layout := aru.DefaultLayout(numSegs)
+	dev := aru.NewMemDevice(layout.DiskBytes())
+	d, err := aru.Format(dev, aru.Params{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAllocsSimpleWrite gates the non-ARU block write — the hottest
+// operation of the interface. Steady state: zero allocations (the
+// committed-version buffer is recycled through the engine free list).
+func TestAllocsSimpleWrite(t *testing.T) {
+	d := gateDisk(t, 512)
+	lst, _ := d.NewList(aru.Simple)
+	blk, _ := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+	buf := make([]byte, d.BlockSize())
+	op := func() {
+		buf[0]++
+		if err := d.Write(aru.Simple, blk, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	alloctest.Check(t, "simple write", 0, 200, op)
+}
+
+// TestAllocsRead gates the committed-state read served from memory.
+func TestAllocsRead(t *testing.T) {
+	d := gateDisk(t, 64)
+	lst, _ := d.NewList(aru.Simple)
+	blk, _ := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+	buf := make([]byte, d.BlockSize())
+	if err := d.Write(aru.Simple, blk, buf); err != nil {
+		t.Fatal(err)
+	}
+	op := func() {
+		if err := d.Read(aru.Simple, blk, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	alloctest.Check(t, "read", 0, 200, op)
+}
+
+// TestAllocsARUWriteCommit gates the full ARU cycle: begin, write
+// three blocks, commit. The ARU state, its shadow version records and
+// their data buffers all come from the engine free lists, so the
+// steady state allocates nothing; the budget of 2 leaves headroom for
+// periodic segment turnover.
+func TestAllocsARUWriteCommit(t *testing.T) {
+	d := gateDisk(t, 512)
+	lst, _ := d.NewList(aru.Simple)
+	blks := make([]aru.BlockID, 3)
+	for i := range blks {
+		blks[i], _ = d.NewBlock(aru.Simple, lst, aru.NilBlock)
+	}
+	buf := make([]byte, d.BlockSize())
+	op := func() {
+		a, err := d.BeginARU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0]++
+		for _, blk := range blks {
+			if err := d.Write(a, blk, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.EndARU(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	alloctest.Check(t, "ARU write+commit", 2, 200, op)
+}
+
+// TestAllocsCommitDurable gates the durable commit: begin, one block
+// write, EndARU plus a device sync through the group-commit broker.
+// The sealed-segment bookkeeping, spare builders and commit-stamp
+// slices are all pooled; the remaining budget covers the broker's
+// per-batch condition-variable signalling and device round trip.
+func TestAllocsCommitDurable(t *testing.T) {
+	d := gateDisk(t, 512)
+	lst, _ := d.NewList(aru.Simple)
+	blk, _ := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+	buf := make([]byte, d.BlockSize())
+	op := func() {
+		a, err := d.BeginARU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0]++
+		if err := d.Write(a, blk, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CommitDurable(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	alloctest.Check(t, "durable commit", 6, 200, op)
+}

@@ -280,6 +280,30 @@ func BenchmarkARUWriteCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkARUCommitDurable measures a one-block unit made durable
+// through the group-commit broker: shadow write → merge → commit →
+// seal → device write → sync, per op.
+func BenchmarkARUCommitDurable(b *testing.B) {
+	d := benchDisk(b, 512)
+	lst, _ := d.NewList(aru.Simple)
+	blk, _ := d.NewBlock(aru.Simple, lst, aru.NilBlock)
+	buf := make([]byte, d.BlockSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := d.BeginARU()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := d.Write(a, blk, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.CommitDurable(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFSCreateDelete measures a Minix file create+delete pair —
 // the meta-data-heavy operations the paper's Figure 5 targets.
 func BenchmarkFSCreateDelete(b *testing.B) {

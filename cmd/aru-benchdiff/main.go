@@ -1,0 +1,162 @@
+// Command aru-benchdiff compares two aru-bench -json reports and
+// flags performance regressions beyond a tolerance — the comparison
+// step of the repo's persisted bench trajectory (BENCH_1.json at the
+// repo root is the first recorded point; CI regenerates a report with
+// the same flags and diffs against it).
+//
+// Usage:
+//
+//	aru-benchdiff -base BENCH_1.json -new bench.json [-tol 0.30] [-hist-tol 1.0]
+//
+// Phases are matched by experiment/build/label/phase name and
+// compared on ns/op (or ops/s when ns/op is absent); histograms are
+// matched by name and compared on p99 and p999. Only regressions
+// count (slower ns/op, lower ops/s, fatter tails): a run that got
+// faster never fails. The exit status is non-zero when any matched
+// metric regresses past its tolerance, so callers choose the policy —
+// CI treats it as a warning (`|| echo ::warning ...`), keeping the
+// trajectory informative without making shared-runner noise a hard
+// failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"aru/internal/harness"
+)
+
+func main() {
+	base := flag.String("base", "", "baseline report (aru-bench -json output)")
+	next := flag.String("new", "", "candidate report to compare against the baseline")
+	tol := flag.Float64("tol", 0.30, "relative tolerance on ns/op and ops/s before a phase counts as regressed")
+	histTol := flag.Float64("hist-tol", 1.0, "relative tolerance on histogram p99/p999 before a tail counts as regressed (the buckets are log-scaled with ~25% resolution, so anything tighter is noise)")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "aru-benchdiff: both -base and -new are required")
+		os.Exit(2)
+	}
+
+	b, err := load(*base)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := load(*next)
+	if err != nil {
+		fatal(err)
+	}
+
+	regressions := 0
+	fmt.Printf("%-46s %14s %14s %9s\n", "phase", "base ns/op", "new ns/op", "drift")
+	baseline := phaseIndex(b)
+	matched := 0
+	for _, r := range n.Results {
+		for _, p := range r.Phases {
+			key := phaseKey(r, p.Name)
+			bp, ok := baseline[key]
+			if !ok {
+				continue // new experiment with no recorded baseline
+			}
+			matched++
+			drift, regressed := compare(bp.NsPerOp, p.NsPerOp, bp.OpsPerSec, p.OpsPerSec, *tol)
+			mark := ""
+			if regressed {
+				mark = "  REGRESSED"
+				regressions++
+			}
+			fmt.Printf("%-46s %14.1f %14.1f %+8.1f%%%s\n", key, bp.NsPerOp, p.NsPerOp, drift*100, mark)
+		}
+	}
+
+	baseHists := map[string]harness.HistogramSummary{}
+	for _, h := range b.Histograms {
+		baseHists[h.Name] = h
+	}
+	for _, h := range n.Histograms {
+		bh, ok := baseHists[h.Name]
+		if !ok || bh.P99Ns == 0 {
+			continue
+		}
+		matched++
+		d99 := rel(bh.P99Ns, h.P99Ns)
+		d999 := rel(bh.P999Ns, h.P999Ns)
+		mark := ""
+		if d99 > *histTol || d999 > *histTol {
+			mark = "  REGRESSED"
+			regressions++
+		}
+		fmt.Printf("%-46s p99 %+7.1f%%  p999 %+7.1f%%%s\n", "hist/"+h.Name, d99*100, d999*100, mark)
+	}
+
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "aru-benchdiff: no phase of the new report matches the baseline — flag mismatch?")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d metric(s) regressed beyond tolerance (ns/op & ops/s ±%.0f%%, tails ±%.0f%%)\n",
+			regressions, *tol*100, *histTol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d matched metrics within tolerance\n", matched)
+}
+
+func load(path string) (harness.Report, error) {
+	var r harness.Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("aru-benchdiff: %w", err)
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("aru-benchdiff: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func phaseKey(r harness.BenchResult, phase string) string {
+	key := r.Experiment + "/" + r.Build
+	if r.Label != "" {
+		key += "/" + r.Label
+	}
+	return key + "/" + phase
+}
+
+func phaseIndex(r harness.Report) map[string]harness.BenchPhase {
+	idx := make(map[string]harness.BenchPhase)
+	for _, res := range r.Results {
+		for _, p := range res.Phases {
+			idx[phaseKey(res, p.Name)] = p
+		}
+	}
+	return idx
+}
+
+// compare returns the relative drift (positive = slower) preferring
+// ns/op, falling back to ops/s (inverted so positive still means
+// worse), and whether it exceeds the tolerance.
+func compare(baseNs, newNs, baseOps, newOps, tol float64) (drift float64, regressed bool) {
+	switch {
+	case baseNs > 0 && newNs > 0:
+		drift = (newNs - baseNs) / baseNs
+	case baseOps > 0 && newOps > 0:
+		drift = (baseOps - newOps) / baseOps
+	default:
+		return 0, false
+	}
+	return drift, drift > tol
+}
+
+// rel is the relative increase from base to next (positive = grew);
+// a zero base yields zero so empty histograms never regress.
+func rel(base, next int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(next-base) / float64(base)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package alloctest
+
+// RaceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation allocates and would fail any
+// allocation budget.
+const RaceEnabled = false

@@ -91,7 +91,7 @@ func (d *LLD) BeginARU() (ARUID, error) {
 	}
 	id := d.nextARU
 	d.nextARU++
-	d.arus[id] = &aruState{id: id}
+	d.arus[id] = d.getState(id)
 	d.stats.ARUsBegun.Add(1)
 	d.obs.Emit(obs.EvARUBegin, uint64(id), 0, 0)
 	return id, nil
@@ -130,6 +130,7 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
 	d.stampCommit(aru)
 	d.ungate(st, cts)
 	delete(d.arus, aru)
+	d.putState(st)
 	d.stats.ARUsCommitted.Add(1)
 	d.obs.Emit(obs.EvARUCommit, uint64(aru), 0, 0)
 	d.maybeMaintain()
@@ -227,6 +228,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 	d.ungate(st, cts)
 	d.discardShadow(st)
 	delete(d.arus, aru)
+	d.putState(st)
 	d.stats.ARUsCommitted.Add(1)
 	d.obs.Emit(obs.EvARUCommit, uint64(aru), replayed, 0)
 	d.maybeMaintain()
@@ -253,28 +255,45 @@ func (d *LLD) ungate(st *aruState, cts uint64) {
 	for _, cl := range st.touchedLists {
 		cl.commitTS = cts
 	}
-	st.touched, st.touchedLists = nil, nil
+	// Keep the slice capacity for the state's next life (pool.go);
+	// zero the pointer elements so retired records are not retained.
+	for i := range st.touched {
+		st.touched[i] = nil
+	}
+	for i := range st.touchedLists {
+		st.touchedLists[i] = nil
+	}
+	st.touched = st.touched[:0]
+	st.touchedLists = st.touchedLists[:0]
 }
 
-// discardShadow drops every shadow record of the ARU, releasing pins.
+// discardShadow drops every shadow record of the ARU, releasing pins
+// and recycling the records (the same-state link is saved before each
+// record is freed).
 func (d *LLD) discardShadow(st *aruState) {
-	for ab := st.shadowBlocks; ab != nil; ab = ab.nextState {
+	for ab := st.shadowBlocks; ab != nil; {
+		next := ab.nextState
 		e := d.blocks[ab.id]
 		d.dropAltBlock(e, ab)
 		if e.empty() {
 			delete(d.blocks, ab.id)
 		}
+		d.freeAltBlock(ab)
+		ab = next
 	}
 	st.shadowBlocks = nil
-	for al := st.shadowLists; al != nil; al = al.nextState {
+	for al := st.shadowLists; al != nil; {
+		next := al.nextState
 		e := d.lists[al.id]
 		d.dropAltList(e, al)
 		if e.empty() {
 			delete(d.lists, al.id)
 		}
+		d.freeAltList(al)
+		al = next
 	}
 	st.shadowLists = nil
-	st.linkLog = nil
+	st.linkLog = st.linkLog[:0]
 }
 
 // AbortARU discards an open ARU: its shadow state is dropped and none
@@ -302,6 +321,7 @@ func (d *LLD) AbortARU(aru ARUID) error {
 	}
 	d.discardShadow(st)
 	delete(d.arus, aru)
+	d.putState(st)
 	d.stats.ARUsAborted.Add(1)
 	d.obs.Emit(obs.EvARUAbort, uint64(aru), 0, 0)
 	return nil

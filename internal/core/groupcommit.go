@@ -148,13 +148,17 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 	// Claim the queue. Only one leader runs at a time and the serial
 	// drain paths require an idle broker, so every entry is unclaimed
 	// here — including entries a failed batch left behind for retry.
-	work := make([]*sealedSeg, 0, len(d.sealed))
+	// The work slice is the engine's reusable scratch: only the single
+	// in-flight leader touches it, so it may be carried across the
+	// device I/O below with d.mu released.
+	work := d.gcWork[:0]
 	for _, e := range d.sealed {
 		if !e.claimed {
 			e.claimed = true
 			work = append(work, e)
 		}
 	}
+	d.gcWork = work
 	needSync := len(work) > 0 || d.devDirty
 	wgen := d.wgen
 	d.mu.Unlock()
@@ -209,6 +213,10 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 		return ioErr
 	}
 	d.finishBatchLocked(work, synced, wgen)
+	for i := range work {
+		work[i] = nil
+	}
+	d.gcWork = work[:0]
 	return nil
 }
 
@@ -234,15 +242,14 @@ func (d *LLD) sealBatchLocked() error {
 	if d.builder.Empty() {
 		return nil
 	}
-	e := &sealedSeg{
-		idx:     d.curSeg,
-		seq:     d.nextSeq,
-		bld:     d.builder,
-		img:     d.builder.Seal(d.nextSeq),
-		off:     d.params.Layout.SegOff(d.curSeg),
-		commits: commits,
-		stamps:  d.commitStamps,
-	}
+	e := d.getSealed()
+	e.idx = d.curSeg
+	e.seq = d.nextSeq
+	e.bld = d.builder
+	e.img = d.builder.Seal(d.nextSeq)
+	e.off = d.params.Layout.SegOff(d.curSeg)
+	e.commits = commits
+	e.stamps = d.commitStamps
 	d.commitStamps = nil
 	d.sealed = append(d.sealed, e)
 	d.sealedBySeg[uint32(e.idx)] = e
@@ -296,6 +303,13 @@ func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64) {
 		}
 		d.observeStamps(e.stamps)
 		d.putBuilder(e.bld)
+		if d.commitStamps == nil && cap(e.stamps) > 0 {
+			// Return the stamp capacity: nothing was stamped since the
+			// cutoff, so the next EndARU appends into the old backing.
+			d.commitStamps = e.stamps[:0]
+		}
+		e.stamps = nil
+		d.putSealed(e)
 	}
 	// Only one leader runs at a time and broker seals are the sole
 	// producer, so the claimed entries are the entire queue.
@@ -367,6 +381,11 @@ func (d *LLD) completeSealedLocked() {
 		}
 		d.observeStamps(e.stamps)
 		d.putBuilder(e.bld)
+		if d.commitStamps == nil && cap(e.stamps) > 0 {
+			d.commitStamps = e.stamps[:0]
+		}
+		e.stamps = nil
+		d.putSealed(e)
 	}
 	d.sealed = d.sealed[:0]
 }

@@ -356,4 +356,19 @@ type LLD struct {
 	// sealFrees, when non-nil, collects the segment indexes promote()
 	// frees — set only around the promotion inside sealBatchLocked.
 	sealFrees *[]int
+
+	// Free lists for steady-state churn (see pool.go for the ownership
+	// rules). All guarded by d.mu; gcWork is touched only by the single
+	// in-flight batch leader, which extends its use across the device
+	// I/O it performs with d.mu released.
+	freeBlocks  *altBlock // chained via nextState
+	freeLists   *altList
+	nFreeBlocks int
+	nFreeLists  int
+	freeBufs    [][]byte
+	freeStates  []*aruState
+	spareSeals  []*sealedSeg
+	matScratch  []matItem
+	matSort     matSorter
+	gcWork      []*sealedSeg
 }

@@ -95,34 +95,29 @@ func (d *LLD) appendBlockWrite(aru ARUID, ts uint64, id BlockID, lst ListID, dat
 // emitted on the merged stream (tag 0) at the record's current
 // timestamp. Capacity is guaranteed by ensureRoom's accounting.
 func (d *LLD) materializeCommitted() {
-	type item struct {
-		ab   *altBlock
-		data []byte
-		ts   uint64
-		tag  ARUID
-		prev bool
-	}
-	var pending []item
+	pending := d.matScratch[:0]
 	for ab := d.commBlocks; ab != nil; ab = ab.nextState {
 		if ab.prevData != nil {
 			// The stashed pre-unit version: the version an open unit
 			// overwrote while its own commit record is still pending.
 			// It is emitted on the merged stream so that, should only
 			// this segment survive, the earlier unit stays complete.
-			pending = append(pending, item{ab: ab, data: ab.prevData, ts: ab.prevTS, prev: true})
+			pending = append(pending, matItem{ab: ab, data: ab.prevData, ts: ab.prevTS, prev: true})
 		}
 		if ab.data != nil {
 			tag := seg.SimpleARU
 			if ab.commitTS == gateOpen {
 				tag = ab.wtag
 			}
-			pending = append(pending, item{ab: ab, data: ab.data, ts: ab.rec.TS, tag: tag})
+			pending = append(pending, matItem{ab: ab, data: ab.data, ts: ab.rec.TS, tag: tag})
 		}
 	}
 	// Write in logical-time order so blocks written together lie
 	// together on disk — the stream of blocks is order-preserving
 	// (paper §3.1), and sequential re-reads stay sequential.
-	sort.Slice(pending, func(i, j int) bool { return pending[i].ts < pending[j].ts })
+	d.matSort.items = pending
+	sort.Sort(&d.matSort)
+	d.matSort.items = nil
 	for _, it := range pending {
 		slot := d.builder.AddBlock(it.data)
 		d.builder.AddEntry(seg.Entry{
@@ -146,6 +141,12 @@ func (d *LLD) materializeCommitted() {
 			d.setBlockPhys(it.ab, uint32(d.curSeg), slot, it.tag)
 		}
 	}
+	// Keep the scratch capacity for the next seal; zero the elements so
+	// retired records and recycled buffers are not retained through it.
+	for i := range pending {
+		pending[i] = matItem{}
+	}
+	d.matScratch = pending[:0]
 }
 
 // lastTS returns the timestamp that will be durable once the current
@@ -344,16 +345,22 @@ func (d *LLD) promoteBlock(ab *altBlock) {
 	if ab.deleted {
 		e.persist = nil
 	} else {
-		rec := ab.rec
-		e.persist = &rec
-		if rec.HasData {
-			d.segLive[rec.Seg]++
+		// Reuse the persistent record in place: nothing retains the
+		// pointer across operations (all readers copy the value under
+		// d.mu).
+		if e.persist == nil {
+			e.persist = new(seg.BlockRec)
+		}
+		*e.persist = ab.rec
+		if ab.rec.HasData {
+			d.segLive[ab.rec.Seg]++
 		}
 	}
 	d.dropAltBlock(e, ab)
 	if e.empty() {
 		delete(d.blocks, ab.id)
 	}
+	d.freeAltBlock(ab)
 }
 
 // promoteList installs al as the persistent version of its list.
@@ -363,13 +370,16 @@ func (d *LLD) promoteList(al *altList) {
 	if al.deleted {
 		e.persist = nil
 	} else {
-		rec := al.rec
-		e.persist = &rec
+		if e.persist == nil {
+			e.persist = new(seg.ListRec)
+		}
+		*e.persist = al.rec
 	}
 	d.dropAltList(e, al)
 	if e.empty() {
 		delete(d.lists, al.id)
 	}
+	d.freeAltList(al)
 }
 
 // readPhys reads the block stored at (segIdx, slot) into dst: from the

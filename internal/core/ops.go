@@ -158,7 +158,7 @@ func (d *LLD) write(aru ARUID, b BlockID, data []byte) error {
 		wb.wtag = m.tag
 		d.stats.CoalescedWrites.Add(1)
 	} else {
-		buf := make([]byte, len(data))
+		buf := d.getBuf()
 		copy(buf, data)
 		d.setBlockData(wb, buf, m.tag, gating)
 	}

@@ -1,0 +1,183 @@
+package core
+
+// Free lists for the engine's steady-state churn (DESIGN.md §12).
+//
+// Every structure the hot paths allocate per operation — alternative
+// records, block buffers, ARU states, sealed-segment entries, the
+// materialization scratch — is recycled on a free list owned by the
+// LLD and guarded by d.mu, like everything else it points into.
+// sync.Pool is deliberately not used here: all mutation already
+// happens under the engine write lock (so there is no contention to
+// shard away), and LLD-owned lists are released with the instance
+// instead of lingering in per-P caches.
+//
+// Ownership rules:
+//
+//   - A block buffer ([]byte of Layout.BlockSize) is owned by exactly
+//     one altBlock slot (data or prevData) or by the free list, never
+//     both. Transfers (shadow→committed merge in endARUNew, data→
+//     prevData in stashPrev) move the buffer without recycling it;
+//     every other release goes through putBuf.
+//   - A buffer becomes dead — and is recycled — the moment its slot is
+//     dropped (dropBlockData/dropPrevData) or replaced (setBlockData).
+//     This is safe because every consumer copies: seg.Builder.AddBlock
+//     and blockCache.put snapshot the contents, and Read copies into
+//     the caller's buffer before d.mu is released. A recycled buffer
+//     therefore never aliases a sealed segment image or a retained
+//     read.
+//   - An altBlock/altList is recycled only after it is unlinked from
+//     both of its chains: dropAltBlock/dropAltList remove the same-ID
+//     link, and the callers (discardShadow, promote) own the
+//     same-state link. dropAltBlock itself stays unlink-only so
+//     callers can save the nextState pointer first.
+//   - An aruState is recycled only after it is deleted from d.arus; its
+//     slices are cleared (pointer elements zeroed) but keep their
+//     capacity across reuse.
+//   - A sealedSeg is recycled in finishBatchLocked/completeSealedLocked
+//     after its builder returned to the spare pool and its quarantines
+//     lifted; the retained image (e.img) aliases the builder's buffer,
+//     which putBuilder resets, so a pooled entry never leaks sealed
+//     bytes.
+
+// Free-list caps: beyond these the garbage collector takes over, so a
+// burst (many concurrent ARUs, a deep commit pipeline) does not pin
+// its high-water mark forever.
+const (
+	maxFreeRecords = 1024
+	maxFreeBufs    = 256
+	maxFreeStates  = 64
+	maxFreeSeals   = 4
+)
+
+// getAltBlock returns a zeroed alternative block record.
+// Caller holds d.mu.
+func (d *LLD) getAltBlock() *altBlock {
+	if ab := d.freeBlocks; ab != nil {
+		d.freeBlocks = ab.nextState
+		d.nFreeBlocks--
+		ab.nextState = nil
+		return ab
+	}
+	return new(altBlock)
+}
+
+// freeAltBlock recycles ab, which must be unlinked from both chains
+// and hold no buffers. Caller holds d.mu.
+func (d *LLD) freeAltBlock(ab *altBlock) {
+	if d.nFreeBlocks >= maxFreeRecords {
+		return
+	}
+	*ab = altBlock{nextState: d.freeBlocks}
+	d.freeBlocks = ab
+	d.nFreeBlocks++
+}
+
+// getAltList returns a zeroed alternative list record.
+// Caller holds d.mu.
+func (d *LLD) getAltList() *altList {
+	if al := d.freeLists; al != nil {
+		d.freeLists = al.nextState
+		d.nFreeLists--
+		al.nextState = nil
+		return al
+	}
+	return new(altList)
+}
+
+// freeAltList recycles al, which must be unlinked from both chains.
+// Caller holds d.mu.
+func (d *LLD) freeAltList(al *altList) {
+	if d.nFreeLists >= maxFreeRecords {
+		return
+	}
+	*al = altList{nextState: d.freeLists}
+	d.freeLists = al
+	d.nFreeLists++
+}
+
+// getBuf returns a block-sized buffer. Contents are undefined; every
+// caller overwrites the full block.
+// Caller holds d.mu.
+func (d *LLD) getBuf() []byte {
+	if n := len(d.freeBufs); n > 0 {
+		b := d.freeBufs[n-1]
+		d.freeBufs[n-1] = nil
+		d.freeBufs = d.freeBufs[:n-1]
+		return b
+	}
+	return make([]byte, d.params.Layout.BlockSize)
+}
+
+// putBuf recycles a dead block buffer. Caller holds d.mu.
+func (d *LLD) putBuf(b []byte) {
+	if len(b) != d.params.Layout.BlockSize || len(d.freeBufs) >= maxFreeBufs {
+		return
+	}
+	d.freeBufs = append(d.freeBufs, b)
+}
+
+// getState returns an aruState for a new unit, reusing the slice
+// capacity of a retired one. Caller holds d.mu.
+func (d *LLD) getState(id ARUID) *aruState {
+	if n := len(d.freeStates); n > 0 {
+		st := d.freeStates[n-1]
+		d.freeStates[n-1] = nil
+		d.freeStates = d.freeStates[:n-1]
+		st.id = id
+		return st
+	}
+	return &aruState{id: id}
+}
+
+// putState recycles st after it was deleted from d.arus. Its slices
+// were already cleared to length zero (with pointer elements zeroed)
+// by ungate/discardShadow. Caller holds d.mu.
+func (d *LLD) putState(st *aruState) {
+	if len(d.freeStates) >= maxFreeStates {
+		return
+	}
+	st.id = 0
+	st.shadowBlocks, st.shadowLists = nil, nil
+	d.freeStates = append(d.freeStates, st)
+}
+
+// getSealed returns a zeroed sealed-segment entry (frees/stamps keep
+// their capacity). Caller holds d.mu.
+func (d *LLD) getSealed() *sealedSeg {
+	if n := len(d.spareSeals); n > 0 {
+		e := d.spareSeals[n-1]
+		d.spareSeals[n-1] = nil
+		d.spareSeals = d.spareSeals[:n-1]
+		return e
+	}
+	return new(sealedSeg)
+}
+
+// putSealed recycles a completed sealed-segment entry. Caller holds
+// d.mu.
+func (d *LLD) putSealed(e *sealedSeg) {
+	if len(d.spareSeals) >= maxFreeSeals {
+		return
+	}
+	*e = sealedSeg{frees: e.frees[:0]}
+	d.spareSeals = append(d.spareSeals, e)
+}
+
+// matItem is one buffered committed-state version queued for
+// materialization into the open segment (see materializeCommitted).
+type matItem struct {
+	ab   *altBlock
+	data []byte
+	ts   uint64
+	tag  ARUID
+	prev bool
+}
+
+// matSorter orders the materialization scratch by logical timestamp.
+// It lives as a value field on LLD so sort.Sort gets a persistent
+// *matSorter and seals pay no per-call interface allocation.
+type matSorter struct{ items []matItem }
+
+func (s *matSorter) Len() int           { return len(s.items) }
+func (s *matSorter) Less(i, j int) bool { return s.items[i].ts < s.items[j].ts }
+func (s *matSorter) Swap(i, j int)      { s.items[i], s.items[j] = s.items[j], s.items[i] }

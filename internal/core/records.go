@@ -340,9 +340,11 @@ func (d *LLD) writableList(id ListID, aru ARUID, st *aruState) (*altList, bool) 
 // version's *contents*, not just its structure) — and links it into the
 // ARU's same-state chain and the block's same-ID chain.
 func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data []byte) *altBlock {
-	ab := &altBlock{id: rec.ID, aru: st.id, rec: rec}
+	ab := d.getAltBlock()
+	ab.id, ab.aru, ab.rec = rec.ID, st.id, rec
 	if data != nil {
-		ab.data = append([]byte(nil), data...)
+		ab.data = d.getBuf()
+		copy(ab.data, data)
 	}
 	if rec.HasData {
 		d.pinSeg(rec.Seg)
@@ -359,7 +361,8 @@ func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data
 
 // newShadowList creates a shadow copy of rec for the ARU st.
 func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altList {
-	al := &altList{id: rec.ID, aru: st.id, rec: rec}
+	al := d.getAltList()
+	al.id, al.aru, al.rec = rec.ID, st.id, rec
 	al.nextState = st.shadowLists
 	st.shadowLists = al
 	al.nextID = e.altHead
@@ -373,7 +376,8 @@ func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altLis
 // newCommBlock creates a committed alternative record for block id with
 // contents rec and links it into the committed chains.
 func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBlock {
-	ab := &altBlock{id: id, aru: seg.SimpleARU, rec: rec}
+	ab := d.getAltBlock()
+	ab.id, ab.aru, ab.rec = id, seg.SimpleARU, rec
 	if rec.HasData {
 		d.pinSeg(rec.Seg)
 	}
@@ -388,7 +392,8 @@ func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBloc
 
 // newCommList creates a committed alternative record for list id.
 func (d *LLD) newCommList(e *listEntry, id ListID, rec seg.ListRec) *altList {
-	al := &altList{id: id, aru: seg.SimpleARU, rec: rec}
+	al := d.getAltList()
+	al.id, al.aru, al.rec = id, seg.SimpleARU, rec
 	al.nextState = d.commLists
 	d.commLists = al
 	al.nextID = e.altHead
@@ -428,6 +433,7 @@ func (d *LLD) stashPrev(ab *altBlock) {
 	}
 	if ab.prevData != nil {
 		d.commBufBlocks-- // the superseded stash frees its slot
+		d.putBuf(ab.prevData)
 	}
 	ab.prevData = ab.data
 	ab.prevTS = ab.rec.TS
@@ -443,7 +449,11 @@ func (d *LLD) setBlockData(ab *altBlock, buf []byte, tag ARUID, gating bool) {
 	if gating {
 		d.stashPrev(ab)
 	}
-	if ab.data == nil && ab.aru == seg.SimpleARU {
+	if ab.data != nil {
+		// The replaced version is discarded (paper §3.1); its buffer
+		// already holds a committed-buffer slot, so the count stands.
+		d.putBuf(ab.data)
+	} else if ab.aru == seg.SimpleARU {
 		d.commBufBlocks++
 	}
 	if ab.rec.HasData {
@@ -454,22 +464,27 @@ func (d *LLD) setBlockData(ab *altBlock, buf []byte, tag ARUID, gating bool) {
 	ab.wtag = tag
 }
 
-// dropBlockData discards ab's in-memory buffer, if any.
+// dropBlockData discards and recycles ab's in-memory buffer, if any.
+// Safe at every call site because all consumers copy the contents
+// (builder, cache, Read) before d.mu is released — see pool.go.
 func (d *LLD) dropBlockData(ab *altBlock) {
 	if ab.data == nil {
 		return
 	}
+	d.putBuf(ab.data)
 	ab.data = nil
 	if ab.aru == seg.SimpleARU {
 		d.commBufBlocks--
 	}
 }
 
-// dropPrevData discards ab's stashed pre-unit version, if any.
+// dropPrevData discards and recycles ab's stashed pre-unit version, if
+// any.
 func (d *LLD) dropPrevData(ab *altBlock) {
 	if ab.prevData == nil {
 		return
 	}
+	d.putBuf(ab.prevData)
 	ab.prevData = nil
 	if ab.aru == seg.SimpleARU {
 		d.commBufBlocks--

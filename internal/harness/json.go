@@ -50,6 +50,7 @@ type HistogramSummary struct {
 	P50Ns  int64  `json:"p50_ns"`
 	P95Ns  int64  `json:"p95_ns"`
 	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
 }
 
 // SummarizeHistograms digests the non-empty histograms of a tracer
@@ -67,6 +68,7 @@ func SummarizeHistograms(hists []obs.HistSnapshot) []HistogramSummary {
 			P50Ns:  h.Quantile(0.50).Nanoseconds(),
 			P95Ns:  h.Quantile(0.95).Nanoseconds(),
 			P99Ns:  h.Quantile(0.99).Nanoseconds(),
+			P999Ns: h.Quantile(0.999).Nanoseconds(),
 		})
 	}
 	return out

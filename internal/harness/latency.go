@@ -24,12 +24,13 @@ func FormatLatencies(hists []obs.HistSnapshot) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Operation latency (engine-observed, wall clock)\n\n")
-	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99")
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean", "p50", "p95", "p99", "p999")
 	for _, h := range rows {
-		fmt.Fprintf(&b, "  %-16s %10d %10s %10s %10s %10s\n",
+		fmt.Fprintf(&b, "  %-16s %10d %10s %10s %10s %10s %10s\n",
 			h.Name, h.Count,
 			fmtDur(h.Mean()), fmtDur(h.Quantile(0.50)),
-			fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
+			fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)),
+			fmtDur(h.Quantile(0.999)))
 	}
 	b.WriteString("\n  (percentiles are log-bucket upper bounds, <=25% relative error)\n")
 	return b.String()

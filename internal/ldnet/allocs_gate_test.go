@@ -1,0 +1,105 @@
+package ldnet
+
+// Allocation-budget gates for the wire path (see internal/alloctest).
+// The budgets are end-to-end: one measured operation spans the client
+// encoder (inline header into Client.reqHdr), the server's request
+// loop (reused scratch frame, per-session response encoder and read
+// buffer, per-connection header scratch) and the client read loop
+// (pooled response frames, pooled RPC timers). Before this pooling a
+// pipelined write cost 11 allocs/op end to end; the gate holds the
+// batch at ≤5 per write.
+
+import (
+	"testing"
+	"time"
+
+	"aru/internal/alloctest"
+	"aru/internal/core"
+	"aru/internal/seg"
+)
+
+func gateClient(t *testing.T, blocks int) (*Client, []core.BlockID, []byte) {
+	t.Helper()
+	backend, _ := newBackend(t, 256)
+	_, addr := startServer(t, backend)
+	cl, err := Dial(addr, ClientConfig{RPCTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	lst, err := cl.NewList(seg.SimpleARU)
+	if err != nil {
+		t.Fatalf("NewList: %v", err)
+	}
+	buf := make([]byte, cl.BlockSize())
+	ids := make([]core.BlockID, blocks)
+	for i := range ids {
+		blk, err := cl.NewBlock(seg.SimpleARU, lst, core.NilBlock)
+		if err != nil {
+			t.Fatalf("NewBlock: %v", err)
+		}
+		if err := cl.Write(seg.SimpleARU, blk, buf); err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+		ids[i] = blk
+	}
+	return cl, ids, buf
+}
+
+// TestAllocsNetRoundtrip gates a fully serialized ping: the remaining
+// allocations are the Call, its done channel and the coalescing
+// flusher goroutine — nothing per-frame.
+func TestAllocsNetRoundtrip(t *testing.T) {
+	cl, _, _ := gateClient(t, 1)
+	op := func() {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		op()
+	}
+	alloctest.Check(t, "net roundtrip (ping)", 5, 200, op)
+}
+
+// TestAllocsNetPipelinedWrite gates the pipelined block-write path —
+// one of the PR's acceptance-gated hot paths. Each measured op is a
+// window of 64 writes; the budget of 320 is 5 allocs per write,
+// versus 11 before the pooled frame/header/timer work.
+func TestAllocsNetPipelinedWrite(t *testing.T) {
+	const window = 64
+	cl, ids, buf := gateClient(t, 64)
+	op := func() {
+		calls := make([]*Call, window)
+		for i := range calls {
+			calls[i] = cl.WriteAsync(seg.SimpleARU, ids[i%len(ids)], buf)
+		}
+		for _, call := range calls {
+			if err := call.Wait(); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+	}
+	op()
+	alloctest.Check(t, "pipelined write ×64", 320, 50, op)
+}
+
+// TestAllocsNetPipelinedRead gates the read-side counterpart: the
+// block-sized response bodies ride pooled frames released by Wait.
+func TestAllocsNetPipelinedRead(t *testing.T) {
+	const window = 64
+	cl, ids, _ := gateClient(t, 64)
+	op := func() {
+		calls := make([]*Call, window)
+		for i := range calls {
+			calls[i] = cl.ReadAsync(seg.SimpleARU, ids[i%len(ids)])
+		}
+		for _, call := range calls {
+			if err := call.Wait(); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+		}
+	}
+	op()
+	alloctest.Check(t, "pipelined read ×64", 320, 50, op)
+}

@@ -2,10 +2,13 @@ package ldnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aru/internal/core"
@@ -86,6 +89,60 @@ type Client struct {
 	nextID    uint64
 	pending   map[uint64]*Call
 	closed    bool
+
+	// reqHdr is the request-header scratch send encodes into (under
+	// c.mu): frame length, request id, opcode and up to four u64
+	// arguments. Keeping it on the client means the hot send path
+	// allocates no per-request buffers.
+	reqHdr [45]byte
+
+	// frames is the response-frame free list (guarded by frameMu, not
+	// c.mu, so returning a frame never contends with senders). The
+	// read loop takes frames from it; body-less responses go straight
+	// back, and responses with a payload are returned by Call.finish
+	// once the issuing method has decoded the body.
+	frameMu sync.Mutex
+	frames  [][]byte
+}
+
+const (
+	// maxPooledFrames caps the client's response-frame free list.
+	maxPooledFrames = 32
+	// maxPooledFrameSize keeps oversized frames (huge list replies)
+	// out of the pool; block-sized read responses stay well under it.
+	maxPooledFrameSize = 64 << 10
+)
+
+// getFrame pops a response buffer of length n from the free list,
+// allocating if the list is empty or its top is too small (dropping
+// the small one, so the pool ratchets up to the connection's working
+// frame size instead of thrashing between sizes).
+func (c *Client) getFrame(n int) []byte {
+	c.frameMu.Lock()
+	if last := len(c.frames) - 1; last >= 0 {
+		f := c.frames[last]
+		c.frames[last] = nil
+		c.frames = c.frames[:last]
+		c.frameMu.Unlock()
+		if cap(f) >= n {
+			return f[:n]
+		}
+		return make([]byte, n)
+	}
+	c.frameMu.Unlock()
+	return make([]byte, n)
+}
+
+// putFrame returns a response buffer to the free list.
+func (c *Client) putFrame(f []byte) {
+	if cap(f) == 0 || cap(f) > maxPooledFrameSize {
+		return
+	}
+	c.frameMu.Lock()
+	if len(c.frames) < maxPooledFrames {
+		c.frames = append(c.frames, f[:0])
+	}
+	c.frameMu.Unlock()
 }
 
 // Dial connects to an ldnet server and performs the protocol
@@ -199,11 +256,27 @@ func (c *Client) redialLocked() error {
 
 // readLoop receives responses for one connection generation and
 // completes the matching calls, in whatever order the server answers.
+// Frames come from the client's free list; a frame whose body a call
+// needs is owned by that call until Call.finish returns it, every
+// other frame goes straight back to the pool.
 func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
+	var hdr [4]byte
 	for {
-		frame, err := readFrame(br, c.cfg.MaxFrame)
-		if err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			c.connBroken(conn, err)
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > c.cfg.MaxFrame {
+			c.connBroken(conn, errFrameTooBig)
+			return
+		}
+		frame := c.getFrame(int(n))
+		if _, err := io.ReadFull(br, frame); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			c.connBroken(conn, fmt.Errorf("%w: truncated frame: %v", ErrProtocol, err))
 			return
 		}
 		reqID, status, body, err := parseResponse(frame)
@@ -217,13 +290,19 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader) {
 			delete(c.pending, reqID)
 		}
 		c.mu.Unlock()
-		if !ok {
-			continue // timed-out call already abandoned; drop the late reply
-		}
-		if status == statusOK {
+		switch {
+		case !ok:
+			c.putFrame(frame) // timed-out call already abandoned; drop the late reply
+		case status != statusOK:
+			err := errFor(status, string(body))
+			c.putFrame(frame)
+			call.complete(nil, err)
+		case len(body) == 0:
+			c.putFrame(frame)
+			call.complete(nil, nil)
+		default:
+			call.frame = frame
 			call.complete(body, nil)
-		} else {
-			call.complete(nil, errFor(status, string(body)))
 		}
 	}
 }
@@ -260,6 +339,11 @@ type Call struct {
 	done chan struct{}
 	body []byte
 	err  error
+
+	// frame is the pooled response buffer body aliases, if any;
+	// finish (idempotent, guarded by released) returns it.
+	frame    []byte
+	released atomic.Bool
 }
 
 func (call *Call) complete(body []byte, err error) {
@@ -268,28 +352,70 @@ func (call *Call) complete(body []byte, err error) {
 	close(call.done)
 }
 
+// finish releases the call's response buffer back to the client's
+// frame pool. The body is invalid afterwards. Idempotent: only the
+// first caller returns the frame.
+func (call *Call) finish() {
+	if call.frame != nil && call.released.CompareAndSwap(false, true) {
+		call.c.putFrame(call.frame)
+	}
+}
+
 // Done is closed when the response (or failure) arrived.
 func (call *Call) Done() <-chan struct{} { return call.done }
 
 // Wait blocks until the call completes or the RPC timeout expires,
-// and returns its error.
+// and returns its error. It also releases the call's response buffer
+// for reuse — the typed methods decode the body before the buffer is
+// let go.
 func (call *Call) Wait() error {
 	_, err := call.wait()
+	call.finish()
 	return err
 }
 
+// timerPool recycles RPC-timeout timers: a pipelined burst would
+// otherwise allocate one timer (and its channel) per call.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Already fired: drain the tick if it is still pending so a
+		// reused timer cannot deliver a stale expiry.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 func (call *Call) wait() ([]byte, error) {
+	select {
+	case <-call.done: // fast path: already complete, no timer needed
+		return call.body, call.err
+	default:
+	}
 	timeout := call.c.cfg.RPCTimeout
 	if timeout <= 0 {
 		<-call.done
 		return call.body, call.err
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	timer := getTimer(timeout)
 	select {
 	case <-call.done:
+		putTimer(timer)
 		return call.body, call.err
 	case <-timer.C:
+		putTimer(timer)
 	}
 	// Abandon the call: remove it from pending so a late response is
 	// dropped, unless the read loop won the race.
@@ -308,13 +434,27 @@ func (call *Call) wait() ([]byte, error) {
 	return nil, call.err
 }
 
+// reqHead carries up to four u64 request arguments by value: building
+// a request head costs no allocation (the old enc-based builders
+// allocated a slice per request).
+type reqHead struct {
+	n int
+	v [4]uint64
+}
+
+func head1(a uint64) reqHead          { return reqHead{n: 1, v: [4]uint64{a}} }
+func head2(a, b uint64) reqHead       { return reqHead{n: 2, v: [4]uint64{a, b}} }
+func head3(a, b, c uint64) reqHead    { return reqHead{n: 3, v: [4]uint64{a, b, c}} }
+func head4(a, b, c, d uint64) reqHead { return reqHead{n: 4, v: [4]uint64{a, b, c, d}} }
+
 // send registers and transmits one request, redialing first if the
 // connection is down. The returned call may already be failed (send
-// errors complete it immediately). head and payload together form the
-// request body; they are written straight into the connection buffer
-// (no intermediate frame copy), so payload may be a caller-owned
-// block buffer — it is consumed before send returns.
-func (c *Client) send(op uint8, head, payload []byte) *Call {
+// errors complete it immediately). The frame header and argument head
+// are encoded into c.reqHdr (under c.mu) and written together with
+// the payload straight into the connection buffer (no intermediate
+// frame copy), so payload may be a caller-owned block buffer — it is
+// consumed before send returns.
+func (c *Client) send(op uint8, hd reqHead, payload []byte) *Call {
 	call := &Call{c: c, op: op, done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
@@ -332,7 +472,21 @@ func (c *Client) send(op uint8, head, payload []byte) *Call {
 	c.nextID++
 	call.id = c.nextID
 	c.pending[call.id] = call
-	err := writeRequest(c.bw, call.id, op, head, payload, c.cfg.MaxFrame)
+	var err error
+	if n := 9 + 8*hd.n + len(payload); uint32(n) > c.cfg.MaxFrame {
+		err = errFrameTooBig
+	} else {
+		hdr := c.reqHdr[:0]
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+		hdr = binary.LittleEndian.AppendUint64(hdr, call.id)
+		hdr = append(hdr, op)
+		for i := 0; i < hd.n; i++ {
+			hdr = binary.LittleEndian.AppendUint64(hdr, hd.v[i])
+		}
+		if _, err = c.bw.Write(hdr); err == nil && len(payload) > 0 {
+			_, err = c.bw.Write(payload)
+		}
+	}
 	if err != nil {
 		delete(c.pending, call.id)
 		conn := c.conn
@@ -377,20 +531,25 @@ func (c *Client) flush(conn net.Conn) {
 	}
 }
 
-// rpc performs one synchronous round trip.
-func (c *Client) rpc(op uint8, body []byte) ([]byte, error) {
-	return c.send(op, body, nil).wait()
+// rpc performs one synchronous round trip and returns the completed
+// call. The caller reads call.err, decodes call.body (which may alias
+// a pooled frame) and must then release the call with finish.
+func (c *Client) rpc(op uint8, hd reqHead) *Call {
+	call := c.send(op, hd, nil)
+	call.wait()
+	return call
 }
 
 // rpcRetry is rpc plus the idempotent-read retry policy: on
 // disconnect, reconnect with exponential backoff and reissue.
-func (c *Client) rpcRetry(op uint8, body []byte) ([]byte, error) {
+func (c *Client) rpcRetry(op uint8, hd reqHead) *Call {
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		out, err := c.rpc(op, body)
-		if err == nil || !isTransient(err) || attempt >= c.cfg.ReadRetries {
-			return out, err
+		call := c.rpc(op, hd)
+		if call.err == nil || !isTransient(call.err) || attempt >= c.cfg.ReadRetries {
+			return call
 		}
+		call.finish()
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -402,49 +561,32 @@ func isTransient(err error) bool {
 	return errors.Is(err, ErrDisconnected)
 }
 
-// ---- Request body builders -------------------------------------------
-
-func encARU(aru core.ARUID) []byte {
-	e := newEnc(8)
-	e.u64(uint64(aru))
-	return e.b
-}
-
-func encARUBlock(aru core.ARUID, b core.BlockID) []byte {
-	e := newEnc(16)
-	e.u64(uint64(aru))
-	e.u64(uint64(b))
-	return e.b
-}
-
-func encARUList(aru core.ARUID, lst core.ListID) []byte {
-	e := newEnc(16)
-	e.u64(uint64(aru))
-	e.u64(uint64(lst))
-	return e.b
-}
-
 // ---- The LD interface over the wire ----------------------------------
 
 // Read copies block b, as seen from the state of aru, into dst. It is
 // idempotent and retried across reconnects.
 func (c *Client) Read(aru core.ARUID, b core.BlockID, dst []byte) error {
-	body, err := c.rpcRetry(opRead, encARUBlock(aru, b))
-	if err != nil {
-		return err
+	call := c.rpcRetry(opRead, head2(uint64(aru), uint64(b)))
+	if call.err != nil {
+		call.finish()
+		return call.err
 	}
-	if len(body) != len(dst) {
-		return fmt.Errorf("%w: read returned %d bytes, want %d", ErrProtocol, len(body), len(dst))
+	if len(call.body) != len(dst) {
+		n := len(call.body)
+		call.finish()
+		return fmt.Errorf("%w: read returned %d bytes, want %d", ErrProtocol, n, len(dst))
 	}
-	copy(dst, body)
+	copy(dst, call.body)
+	call.finish()
 	return nil
 }
 
-// ReadAsync issues a pipelined Read; decode the payload with
-// (*Call).wait via Read, or use Wait and re-issue. Prefer Read unless
+// ReadAsync issues a pipelined Read and returns immediately; Wait
+// collects the result (and releases the payload buffer — use Read
+// for contents, ReadAsync to drive the pipeline). Prefer Read unless
 // batching.
 func (c *Client) ReadAsync(aru core.ARUID, b core.BlockID) *Call {
-	return c.send(opRead, encARUBlock(aru, b), nil)
+	return c.send(opRead, head2(uint64(aru), uint64(b)), nil)
 }
 
 // Write replaces the contents of block b within the state of aru.
@@ -462,65 +604,65 @@ func (c *Client) WriteAsync(aru core.ARUID, b core.BlockID, data []byte) *Call {
 			core.ErrBadParam, len(data), bs))
 		return call
 	}
-	return c.send(opWrite, encARUBlock(aru, b), data)
+	return c.send(opWrite, head2(uint64(aru), uint64(b)), data)
 }
 
 // NewBlock allocates a block and inserts it into lst after pred.
 func (c *Client) NewBlock(aru core.ARUID, lst core.ListID, pred core.BlockID) (core.BlockID, error) {
-	e := newEnc(24)
-	e.u64(uint64(aru))
-	e.u64(uint64(lst))
-	e.u64(uint64(pred))
-	body, err := c.rpc(opNewBlock, e.b)
-	if err != nil {
-		return 0, err
+	call := c.rpc(opNewBlock, head3(uint64(aru), uint64(lst), uint64(pred)))
+	if call.err != nil {
+		call.finish()
+		return 0, call.err
 	}
-	id, err := decodeU64(body)
+	id, err := decodeU64(call.body)
+	call.finish()
 	return core.BlockID(id), err
 }
 
 // NewList allocates a new, empty list.
 func (c *Client) NewList(aru core.ARUID) (core.ListID, error) {
-	body, err := c.rpc(opNewList, encARU(aru))
-	if err != nil {
-		return 0, err
+	call := c.rpc(opNewList, head1(uint64(aru)))
+	if call.err != nil {
+		call.finish()
+		return 0, call.err
 	}
-	id, err := decodeU64(body)
+	id, err := decodeU64(call.body)
+	call.finish()
 	return core.ListID(id), err
 }
 
 // DeleteBlock removes block b within the state of aru.
 func (c *Client) DeleteBlock(aru core.ARUID, b core.BlockID) error {
-	_, err := c.rpc(opFreeBlock, encARUBlock(aru, b))
-	return err
+	call := c.rpc(opFreeBlock, head2(uint64(aru), uint64(b)))
+	call.finish()
+	return call.err
 }
 
 // DeleteList removes list lst and its blocks within the state of aru.
 func (c *Client) DeleteList(aru core.ARUID, lst core.ListID) error {
-	_, err := c.rpc(opFreeList, encARUList(aru, lst))
-	return err
+	call := c.rpc(opFreeList, head2(uint64(aru), uint64(lst)))
+	call.finish()
+	return call.err
 }
 
 // MoveBlock moves block b to list lst after pred, atomically within
 // the issuing stream.
 func (c *Client) MoveBlock(aru core.ARUID, b core.BlockID, lst core.ListID, pred core.BlockID) error {
-	e := newEnc(32)
-	e.u64(uint64(aru))
-	e.u64(uint64(b))
-	e.u64(uint64(lst))
-	e.u64(uint64(pred))
-	_, err := c.rpc(opMoveBlock, e.b)
-	return err
+	call := c.rpc(opMoveBlock, head4(uint64(aru), uint64(b), uint64(lst), uint64(pred)))
+	call.finish()
+	return call.err
 }
 
 // ListBlocks returns the members of lst in order, as seen from the
 // state of aru. Idempotent: retried across reconnects.
 func (c *Client) ListBlocks(aru core.ARUID, lst core.ListID) ([]core.BlockID, error) {
-	body, err := c.rpcRetry(opListBlocks, encARUList(aru, lst))
-	if err != nil {
-		return nil, err
+	call := c.rpcRetry(opListBlocks, head2(uint64(aru), uint64(lst)))
+	if call.err != nil {
+		call.finish()
+		return nil, call.err
 	}
-	ids, err := decodeIDs(body)
+	ids, err := decodeIDs(call.body)
+	call.finish()
 	if err != nil {
 		return nil, err
 	}
@@ -534,11 +676,13 @@ func (c *Client) ListBlocks(aru core.ARUID, lst core.ListID) ([]core.BlockID, er
 // Lists returns the lists visible in the state of aru. Idempotent:
 // retried across reconnects.
 func (c *Client) Lists(aru core.ARUID) ([]core.ListID, error) {
-	body, err := c.rpcRetry(opLists, encARU(aru))
-	if err != nil {
-		return nil, err
+	call := c.rpcRetry(opLists, head1(uint64(aru)))
+	if call.err != nil {
+		call.finish()
+		return nil, call.err
 	}
-	ids, err := decodeIDs(body)
+	ids, err := decodeIDs(call.body)
+	call.finish()
 	if err != nil {
 		return nil, err
 	}
@@ -552,49 +696,58 @@ func (c *Client) Lists(aru core.ARUID) ([]core.ListID, error) {
 // StatBlock returns the effective record of block b in the state of
 // aru. Idempotent: retried across reconnects.
 func (c *Client) StatBlock(aru core.ARUID, b core.BlockID) (core.BlockInfo, error) {
-	body, err := c.rpcRetry(opStatBlock, encARUBlock(aru, b))
-	if err != nil {
-		return core.BlockInfo{}, err
+	call := c.rpcRetry(opStatBlock, head2(uint64(aru), uint64(b)))
+	if call.err != nil {
+		call.finish()
+		return core.BlockInfo{}, call.err
 	}
-	return decodeBlockInfo(body)
+	bi, err := decodeBlockInfo(call.body)
+	call.finish()
+	return bi, err
 }
 
 // BeginARU opens a new atomic recovery unit on the server, owned by
 // this connection: if the connection breaks before EndARU, the server
 // aborts it.
 func (c *Client) BeginARU() (core.ARUID, error) {
-	body, err := c.rpc(opBeginARU, nil)
-	if err != nil {
-		return 0, err
+	call := c.rpc(opBeginARU, reqHead{})
+	if call.err != nil {
+		call.finish()
+		return 0, call.err
 	}
-	id, err := decodeU64(body)
+	id, err := decodeU64(call.body)
+	call.finish()
 	return core.ARUID(id), err
 }
 
 // EndARU commits the unit (atomicity, not durability — call Flush or
 // use CommitDurable).
 func (c *Client) EndARU(aru core.ARUID) error {
-	_, err := c.rpc(opEndARU, encARU(aru))
-	return err
+	call := c.rpc(opEndARU, head1(uint64(aru)))
+	call.finish()
+	return call.err
 }
 
 // AbortARU discards the unit's shadow state.
 func (c *Client) AbortARU(aru core.ARUID) error {
-	_, err := c.rpc(opAbortARU, encARU(aru))
-	return err
+	call := c.rpc(opAbortARU, head1(uint64(aru)))
+	call.finish()
+	return call.err
 }
 
 // CommitDurable ends the ARU and flushes in one round trip.
 func (c *Client) CommitDurable(aru core.ARUID) error {
-	_, err := c.rpc(opCommitDurable, encARU(aru))
-	return err
+	call := c.rpc(opCommitDurable, head1(uint64(aru)))
+	call.finish()
+	return call.err
 }
 
 // Flush forces all committed state to stable storage. Idempotent:
 // retried across reconnects.
 func (c *Client) Flush() error {
-	_, err := c.rpcRetry(opSync, nil)
-	return err
+	call := c.rpcRetry(opSync, reqHead{})
+	call.finish()
+	return call.err
 }
 
 // Stats returns the server disk's counters; a failed RPC returns the
@@ -606,18 +759,22 @@ func (c *Client) Stats() core.Stats {
 
 // StatsRPC returns the server disk's counters, or the RPC error.
 func (c *Client) StatsRPC() (core.Stats, error) {
-	body, err := c.rpcRetry(opStats, nil)
-	if err != nil {
-		return core.Stats{}, err
+	call := c.rpcRetry(opStats, reqHead{})
+	if call.err != nil {
+		call.finish()
+		return core.Stats{}, call.err
 	}
-	return decodeStats(body)
+	st, err := decodeStats(call.body)
+	call.finish()
+	return st, err
 }
 
 // Ping round-trips an empty request — a health check and an RTT
 // probe. Idempotent: retried across reconnects.
 func (c *Client) Ping() error {
-	_, err := c.rpcRetry(opPing, nil)
-	return err
+	call := c.rpcRetry(opPing, reqHead{})
+	call.finish()
+	return call.err
 }
 
 func decodeU64(body []byte) (uint64, error) {

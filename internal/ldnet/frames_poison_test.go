@@ -1,0 +1,103 @@
+package ldnet
+
+// Frame-recycling safety tests: the client pools response frames
+// (returned by Call.finish / Wait) and the server reuses a per-session
+// request scratch, response encoder and read buffer. A recycling bug —
+// a frame released while its body is still being decoded, or a
+// session buffer visible to another session — shows up here as a read
+// returning another call's (or another client's) bytes.
+//
+// Every block is written with a uniform pattern unique to its owner,
+// so contamination is detected exactly. Run under -race these tests
+// also catch the underlying races; the race CI job runs them so.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"aru/internal/core"
+	"aru/internal/seg"
+)
+
+// TestFrameRecyclingIsolation drives one server from two clients, each
+// with several concurrent goroutines hammering reads and writes over
+// their own blocks. Within a client, concurrent reads force pooled
+// frames to be recycled across in-flight calls; across clients, the
+// server's per-session scratch must never bleed between sessions.
+func TestFrameRecyclingIsolation(t *testing.T) {
+	backend, _ := newBackend(t, 256)
+	_, addr := startServer(t, backend)
+
+	const (
+		clients    = 2
+		workersPer = 3
+		blocksPer  = 4
+		rounds     = 120
+	)
+
+	var wg sync.WaitGroup
+	for cn := 0; cn < clients; cn++ {
+		cl, err := Dial(addr, ClientConfig{RPCTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		bs := cl.BlockSize()
+		lst, err := cl.NewList(seg.SimpleARU)
+		if err != nil {
+			t.Fatalf("NewList: %v", err)
+		}
+		for wn := 0; wn < workersPer; wn++ {
+			// Each worker owns its blocks outright, so every read has
+			// exactly one legal value at any moment.
+			blks := make([]core.BlockID, blocksPer)
+			for i := range blks {
+				if blks[i], err = cl.NewBlock(seg.SimpleARU, lst, core.NilBlock); err != nil {
+					t.Fatalf("NewBlock: %v", err)
+				}
+			}
+			wg.Add(1)
+			go func(cl *Client, cn, wn int, blks []core.BlockID) {
+				defer wg.Done()
+				buf := make([]byte, bs)
+				rd := make([]byte, bs)
+				last := make([]byte, len(blks))
+				for r := 1; r <= rounds; r++ {
+					pat := byte(cn*100 + wn*30 + r%25 + 1)
+					for j := range buf {
+						buf[j] = pat
+					}
+					// Pipeline the writes, then verify each block with a
+					// synchronous read: its body rides a pooled frame.
+					calls := make([]*Call, len(blks))
+					for i, b := range blks {
+						calls[i] = cl.WriteAsync(seg.SimpleARU, b, buf)
+					}
+					for _, call := range calls {
+						if err := call.Wait(); err != nil {
+							t.Errorf("client %d worker %d: write: %v", cn, wn, err)
+							return
+						}
+					}
+					for i := range last {
+						last[i] = pat
+					}
+					for i, b := range blks {
+						if err := cl.Read(seg.SimpleARU, b, rd); err != nil {
+							t.Errorf("client %d worker %d: read: %v", cn, wn, err)
+							return
+						}
+						if !bytes.Equal(rd, bytes.Repeat([]byte{last[i]}, bs)) {
+							t.Errorf("client %d worker %d: block %d holds %x %x... want uniform %x — recycled frame leaked",
+								cn, wn, i, rd[0], rd[1], last[i])
+							return
+						}
+					}
+				}
+			}(cl, cn, wn, blks)
+		}
+	}
+	wg.Wait()
+}

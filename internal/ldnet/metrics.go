@@ -25,10 +25,11 @@ type Metrics struct {
 	rpcHist [numOps]obs.Histogram
 }
 
-// observe records one served RPC.
-func (m *Metrics) observe(op uint8, d time.Duration, err error) {
+// observe records one served RPC. ok reports whether the dispatch
+// returned statusOK (a bool so the error path needs no error value).
+func (m *Metrics) observe(op uint8, d time.Duration, ok bool) {
 	m.rpcs.Add(1)
-	if err != nil {
+	if !ok {
 		m.rpcErrors.Add(1)
 	}
 	if int(op) < numOps {
@@ -71,9 +72,19 @@ func (m *Metrics) Counters() []obs.Counter {
 // rpc_<opcode> (the Prometheus layer appends _seconds). Pass this as
 // obs.HandlerOptions.Extra.
 func (m *Metrics) Histograms() []obs.HistSnapshot {
-	out := make([]obs.HistSnapshot, 0, numOps)
+	return m.HistogramsInto(nil)
+}
+
+// HistogramsInto is Histograms reusing the caller's slice and bucket
+// backing, for allocation-free periodic scraping (obs.SnapshotInto).
+func (m *Metrics) HistogramsInto(out []obs.HistSnapshot) []obs.HistSnapshot {
+	if cap(out) < numOps-1 {
+		out = make([]obs.HistSnapshot, numOps-1)
+	} else {
+		out = out[:numOps-1]
+	}
 	for op := 1; op < numOps; op++ {
-		out = append(out, m.rpcHist[op].Snapshot("rpc_"+opNames[op]))
+		m.rpcHist[op].SnapshotInto("rpc_"+opNames[op], &out[op-1])
 	}
 	return out
 }

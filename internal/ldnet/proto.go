@@ -233,44 +233,19 @@ func writeFrame(w io.Writer, payload []byte, maxFrame uint32) error {
 	return err
 }
 
-// writeRequest writes one request frame — | u32 len | u64 reqID |
-// u8 op | head | payload | — without assembling it first: each part
-// goes straight into w (a buffered writer), so a block-sized payload
-// is copied once, not three times.
-func writeRequest(w io.Writer, reqID uint64, op uint8, head, payload []byte, maxFrame uint32) error {
-	n := 9 + len(head) + len(payload)
-	if uint32(n) > maxFrame {
-		return errFrameTooBig
-	}
-	var pre [13]byte
-	binary.LittleEndian.PutUint32(pre[0:4], uint32(n))
-	binary.LittleEndian.PutUint64(pre[4:12], reqID)
-	pre[12] = op
-	if _, err := w.Write(pre[:]); err != nil {
-		return err
-	}
-	if len(head) > 0 {
-		if _, err := w.Write(head); err != nil {
-			return err
-		}
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeResponse is writeRequest's response-side twin: | u32 len |
-// u64 reqID | u8 status | body |, written without an intermediate
-// frame buffer.
-func writeResponse(w io.Writer, reqID uint64, status uint8, body []byte, maxFrame uint32) error {
+// writeResponse writes one response frame — | u32 len | u64 reqID |
+// u8 status | body | — without assembling it first: header and body
+// go straight into w (a buffered writer), so a block-sized body is
+// copied once, not twice. pre is caller-owned header scratch: a local
+// array would escape through the io.Writer parameter and cost one
+// heap allocation per response, so the connection loop supplies one
+// that lives as long as the connection. (The client's request side
+// encodes its header inline in Client.send for the same reason.)
+func writeResponse(w io.Writer, reqID uint64, status uint8, body []byte, maxFrame uint32, pre *[13]byte) error {
 	n := 9 + len(body)
 	if uint32(n) > maxFrame {
 		return errFrameTooBig
 	}
-	var pre [13]byte
 	binary.LittleEndian.PutUint32(pre[0:4], uint32(n))
 	binary.LittleEndian.PutUint64(pre[4:12], reqID)
 	pre[12] = status

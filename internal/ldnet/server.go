@@ -164,6 +164,22 @@ func (s *Server) Close() error {
 // requests; passing Simple (0) is always allowed.
 type session struct {
 	owned map[core.ARUID]struct{}
+
+	// Per-session scratch, reused across requests so the steady-state
+	// request loop allocates nothing: the response-body encoder, the
+	// read-response block buffer, and the id staging slice. Reuse is
+	// safe because each response is fully copied into the connection's
+	// write buffer before the next request is dispatched.
+	enc     enc
+	readBuf []byte
+	ids     []uint64
+}
+
+// encReset returns the session's response encoder, emptied (capacity
+// retained).
+func (sess *session) encReset() *enc {
+	sess.enc.b = sess.enc.b[:0]
+	return &sess.enc
 }
 
 // errNotOwned is what another session's (or a forged) ARU id maps to:
@@ -227,8 +243,10 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// Requests are decoded into a reused scratch buffer: each one is
 	// fully dispatched (and its payload copied by the engine) before
-	// the next read overwrites it.
+	// the next read overwrites it. pre is the response-header scratch
+	// shared by every response on this connection (see writeResponse).
 	var scratch []byte
+	var pre [13]byte
 	for {
 		// Flush buffered responses only when about to block on the
 		// socket: a pipelined burst of requests is answered with one
@@ -252,19 +270,15 @@ func (s *Server) handleConn(conn net.Conn) {
 			// intact frame stream is answered, not fatal: framing is
 			// still in sync.
 			m.protoErrors.Add(1)
-			if writeErr := writeResponse(bw, reqID, codeGeneric, []byte(err.Error()), s.maxFrame); writeErr != nil {
+			if writeErr := writeResponse(bw, reqID, codeGeneric, []byte(err.Error()), s.maxFrame, &pre); writeErr != nil {
 				return
 			}
 			continue
 		}
 		t0 := time.Now()
 		status, body := s.dispatch(sess, op, args)
-		var rpcErr error
-		if status != statusOK {
-			rpcErr = errFor(status, "")
-		}
-		m.observe(op, time.Since(t0), rpcErr)
-		if err := writeResponse(bw, reqID, status, body, s.maxFrame); err != nil {
+		m.observe(op, time.Since(t0), status == statusOK)
+		if err := writeResponse(bw, reqID, status, body, s.maxFrame, &pre); err != nil {
 			return
 		}
 	}
@@ -292,11 +306,15 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err := sess.checkARU(a.aru); err != nil {
 			return fail(err)
 		}
-		buf := make([]byte, s.backend.BlockSize())
-		if err := s.backend.Read(a.aru, a.blk, buf); err != nil {
+		if bs := s.backend.BlockSize(); cap(sess.readBuf) < bs {
+			sess.readBuf = make([]byte, bs)
+		} else {
+			sess.readBuf = sess.readBuf[:bs]
+		}
+		if err := s.backend.Read(a.aru, a.blk, sess.readBuf); err != nil {
 			return fail(err)
 		}
-		return statusOK, buf
+		return statusOK, sess.readBuf
 	case opWrite:
 		if err := sess.checkARU(a.aru); err != nil {
 			return fail(err)
@@ -313,7 +331,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err != nil {
 			return fail(err)
 		}
-		e := newEnc(8)
+		e := sess.encReset()
 		e.u64(uint64(id))
 		return statusOK, e.b
 	case opNewList:
@@ -324,7 +342,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err != nil {
 			return fail(err)
 		}
-		e := newEnc(8)
+		e := sess.encReset()
 		e.u64(uint64(id))
 		return statusOK, e.b
 	case opFreeBlock:
@@ -359,11 +377,12 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err != nil {
 			return fail(err)
 		}
-		ids := make([]uint64, len(blocks))
-		for i, b := range blocks {
-			ids[i] = uint64(b)
+		ids := sess.ids[:0]
+		for _, b := range blocks {
+			ids = append(ids, uint64(b))
 		}
-		e := newEnc(4 + 8*len(ids))
+		sess.ids = ids
+		e := sess.encReset()
 		encodeIDs(e, ids)
 		return statusOK, e.b
 	case opLists:
@@ -374,11 +393,12 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err != nil {
 			return fail(err)
 		}
-		ids := make([]uint64, len(lists))
-		for i, l := range lists {
-			ids[i] = uint64(l)
+		ids := sess.ids[:0]
+		for _, l := range lists {
+			ids = append(ids, uint64(l))
 		}
-		e := newEnc(4 + 8*len(ids))
+		sess.ids = ids
+		e := sess.encReset()
 		encodeIDs(e, ids)
 		return statusOK, e.b
 	case opStatBlock:
@@ -389,7 +409,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err != nil {
 			return fail(err)
 		}
-		e := newEnc(33)
+		e := sess.encReset()
 		encodeBlockInfo(e, bi)
 		return statusOK, e.b
 	case opBeginARU:
@@ -398,7 +418,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 			return fail(err)
 		}
 		sess.owned[id] = struct{}{}
-		e := newEnc(8)
+		e := sess.encReset()
 		e.u64(uint64(id))
 		return statusOK, e.b
 	case opEndARU:
@@ -449,7 +469,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		}
 		return statusOK, nil
 	case opStats:
-		e := newEnc(2 + 8*statsFields)
+		e := sess.encReset()
 		encodeStats(e, s.backend.Stats())
 		return statusOK, e.b
 	case opPing:

@@ -59,17 +59,25 @@ func bucketUpperNs(i int) int64 {
 // consistent-enough view for monitoring (each cell is read atomically,
 // counts are monotone).
 func (h *Histogram) Snapshot(name string) HistSnapshot {
-	s := HistSnapshot{
-		Name:  name,
-		Count: h.count.Load(),
-		SumNs: h.sum.Load(),
-	}
+	var s HistSnapshot
+	h.SnapshotInto(name, &s)
+	return s
+}
+
+// SnapshotInto is Snapshot writing into a caller-owned value: the
+// bucket slice is reused ([:0]) instead of reallocated, so a scraper
+// that keeps one HistSnapshot per histogram pays no per-bucket
+// allocation on repeated snapshots (e.g. /metrics polled mid-soak).
+func (h *Histogram) SnapshotInto(name string, s *HistSnapshot) {
+	s.Name = name
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	s.Buckets = s.Buckets[:0]
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n != 0 {
 			s.Buckets = append(s.Buckets, BucketCount{UpperNs: bucketUpperNs(i), Count: n})
 		}
 	}
-	return s
 }
 
 // BucketCount is one non-empty histogram bucket: Count samples were ≤
@@ -146,9 +154,10 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return m
 }
 
-// String renders a one-line summary: count, mean and the standard
-// percentile trio.
+// String renders a one-line summary: count, mean and the tail
+// percentiles through p999.
 func (s HistSnapshot) String() string {
-	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v",
-		s.Name, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v p999=%v",
+		s.Name, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.95),
+		s.Quantile(0.99), s.Quantile(0.999))
 }

@@ -91,6 +91,12 @@ func (o HandlerOptions) namespace() string {
 // as <ns>_<name>_total and every histogram as the
 // <ns>_<name>_seconds bucket/sum/count triple.
 func Handler(o HandlerOptions) http.Handler {
+	// The tracer snapshots are taken into a scratch owned by the
+	// handler (serialized by mu), so repeated scrapes reuse the bucket
+	// backing instead of allocating per bucket — scraping mid-soak must
+	// not perturb the engine's allocation profile.
+	var mu sync.Mutex
+	var scratch []HistSnapshot
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		ns := o.namespace()
@@ -100,9 +106,12 @@ func Handler(o HandlerOptions) http.Handler {
 				fmt.Fprintf(w, "%s_%s_total %d\n", ns, c.Name, c.Value)
 			}
 		}
-		for _, h := range o.Tracer.Histograms() {
+		mu.Lock()
+		scratch = o.Tracer.HistogramsInto(scratch)
+		for _, h := range scratch {
 			writePromHistogram(w, ns, h)
 		}
+		mu.Unlock()
 		if o.Extra != nil {
 			for _, h := range o.Extra() {
 				writePromHistogram(w, ns, h)

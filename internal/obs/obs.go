@@ -316,9 +316,23 @@ func (t *Tracer) Histograms() []HistSnapshot {
 	if t == nil {
 		return nil
 	}
-	out := make([]HistSnapshot, numHists)
+	return t.HistogramsInto(nil)
+}
+
+// HistogramsInto is Histograms reusing the caller's slice (and each
+// element's bucket backing) so a periodic scraper allocates nothing in
+// the steady state. The returned slice has exactly numHists elements.
+func (t *Tracer) HistogramsInto(out []HistSnapshot) []HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	if cap(out) < int(numHists) {
+		out = make([]HistSnapshot, numHists)
+	} else {
+		out = out[:numHists]
+	}
 	for h := HistID(0); h < numHists; h++ {
-		out[h] = t.hists[h].Snapshot(h.String())
+		t.hists[h].SnapshotInto(h.String(), &out[h])
 	}
 	return out
 }

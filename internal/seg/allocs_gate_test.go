@@ -1,0 +1,31 @@
+package seg
+
+// Allocation-budget gate for the segment build/seal cycle (see
+// internal/alloctest): a Builder allocates its data region and entry
+// slice once, and a Reset → AddBlock → AddEntry → Seal cycle reuses
+// them — zero allocations per sealed segment in the steady state.
+// This is what lets the engine's spare-builder pool keep the flush
+// path allocation-free.
+
+import (
+	"testing"
+
+	"aru/internal/alloctest"
+)
+
+func TestAllocsBuilderCycle(t *testing.T) {
+	l := DefaultLayout(4)
+	b := NewBuilder(l)
+	data := make([]byte, l.BlockSize)
+	op := func() {
+		b.Reset()
+		for i := 0; i < 8; i++ {
+			slot := b.AddBlock(data)
+			b.AddEntry(Entry{Kind: KindWrite, TS: uint64(i), Block: BlockID(i), Slot: slot})
+		}
+		b.AddEntry(Entry{Kind: KindCommit, ARU: 1, TS: 9})
+		b.Seal(7)
+	}
+	op()
+	alloctest.Check(t, "builder reset+fill+seal", 0, 100, op)
+}
