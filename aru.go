@@ -158,7 +158,29 @@ type (
 	Counter = obs.Counter
 	// MetricsOptions configures ServeMetrics.
 	MetricsOptions = obs.HandlerOptions
+	// Span is one completed operation span (DESIGN.md §13): commit,
+	// flush, batch, sync, recovery … linked by trace/parent ids into
+	// the causal chain a durable commit travels.
+	Span = obs.Span
+	// SpanKind discriminates spans (client-rpc, engine-commit, …).
+	SpanKind = obs.SpanKind
+	// SpanContext carries a trace across API boundaries: pass one to
+	// (*Disk).EndARUTraced / FlushTraced, or let DialConfig.Tracer
+	// propagate it over the wire automatically.
+	SpanContext = obs.SpanContext
+	// FlightRecorder dumps the tracer's recent spans, events and
+	// histograms to a JSON file on panic, slow-RPC breach or SIGUSR1.
+	FlightRecorder = obs.FlightRecorder
 )
+
+// NewFlightRecorder returns a FlightRecorder reading from t; see
+// aru/internal/obs.FlightRecorder for the dump triggers.
+func NewFlightRecorder(t *Tracer) *FlightRecorder { return obs.NewFlightRecorder(t) }
+
+// WriteChromeTrace exports a span snapshot ((*Tracer).Spans) as Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev); the same
+// document is served at /debug/trace by ServeMetrics.
+var WriteChromeTrace = obs.WriteChromeTrace
 
 // NewTracer returns a Tracer ready to pass as Params.Tracer. One
 // Tracer may be shared by several Disk instances (successive

@@ -5,8 +5,8 @@
 //
 //	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit]
 //	          [-scale N] [-verify] [-csv] [-json out.json]
-//	          [-metrics-addr :6060]
-//	aru-bench -connect HOST:PORT [-net-ops N]
+//	          [-metrics-addr :6060] [-trace-out trace.json]
+//	aru-bench -connect HOST:PORT [-net-ops N] [-trace-out trace.json]
 //
 // -scale N divides the workload sizes by N for quick runs; the paper's
 // full scale is -scale 1 (the default). -json writes a machine-readable
@@ -25,6 +25,11 @@
 // (multi-block units, aborts, shadow readback, committed-state
 // verification) — the same semantics checks as the in-process runs,
 // but across the wire. -net-ops sets the number of ARUs.
+//
+// -trace-out writes the run's span timeline as Chrome trace JSON
+// (open it in ui.perfetto.dev). In -connect mode the client's RPC
+// spans are recorded and their trace context travels to the server,
+// whose own /debug/trace then shows the server half of each chain.
 package main
 
 import (
@@ -52,10 +57,11 @@ func main() {
 	gcMinAmort := flag.Float64("gc-min-amort", 0, "groupcommit: fail unless sync amortization reaches this (0 = report only)")
 	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
 	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
+	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace JSON to this file")
 	flag.Parse()
 
 	if *connect != "" {
-		runRemote(*connect, *netOps)
+		runRemote(*connect, *netOps, *traceOut)
 		return
 	}
 
@@ -170,13 +176,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	writeTrace(*traceOut, tracer)
 	fmt.Printf("(wall time %v, scale 1/%d)\n", time.Since(start).Round(time.Millisecond), *scale)
 }
 
+// writeTrace dumps the tracer's span timeline as Chrome trace JSON.
+func writeTrace(path string, tracer *obs.Tracer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aru-bench: trace out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, tracer.Spans()); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aru-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("span timeline written to %s (open in ui.perfetto.dev)\n", path)
+}
+
 // runRemote drives an aru-serve instance with the mixed-ARU workload
-// and prints its throughput plus the server's counter deltas.
-func runRemote(addr string, ops int) {
-	cl, err := aru.Dial(addr, aru.DialConfig{})
+// and prints its throughput plus the server's counter deltas. The
+// client records rpc spans locally and propagates their context over
+// the wire (the server's /debug/trace shows the other half).
+func runRemote(addr string, ops int, traceOut string) {
+	tracer := obs.New(obs.Config{})
+	cl, err := aru.Dial(addr, aru.DialConfig{Tracer: tracer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aru-bench: connect %s: %v\n", addr, err)
 		os.Exit(1)
@@ -188,7 +218,7 @@ func runRemote(addr string, ops int) {
 		os.Exit(1)
 	}
 	fmt.Printf("remote disk at %s (block size %d B)\n", addr, cl.BlockSize())
-	res, err := harness.RunNetWorkload(cl, harness.NetOptions{Ops: ops})
+	res, err := harness.RunNetWorkload(cl, harness.NetOptions{Ops: ops, Tracer: tracer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aru-bench: remote workload: %v\n", err)
 		os.Exit(1)
@@ -201,4 +231,5 @@ func runRemote(addr string, ops int) {
 			after.ARUsAborted-before.ARUsAborted,
 			after.SegmentsWritten-before.SegmentsWritten)
 	}
+	writeTrace(traceOut, tracer)
 }

@@ -8,15 +8,25 @@
 //
 // Usage:
 //
-//	aru-serve [-listen :9477] [-metrics-addr :6060] [-segs N] [-mem] image.lld
+//	aru-serve [-listen :9477] [-metrics-addr :6060] [-segs N] [-mem]
+//	          [-slow-ms N] [-trace-out trace.json] image.lld
 //
 // If image.lld exists it is opened with full crash recovery (the
 // recovery report is printed); otherwise it is created and formatted
 // with -segs log segments. -mem serves a volatile in-memory disk
 // instead (no image path needed). -metrics-addr serves /metrics with
 // the disk's counters and latency histograms plus the network layer's
-// per-RPC histograms and session/abort counters, /debug/vars and
-// /debug/pprof.
+// per-RPC histograms and session/abort counters, /debug/vars,
+// /debug/pprof and /debug/trace (the span timeline as Chrome trace
+// JSON — open it in ui.perfetto.dev).
+//
+// -slow-ms N logs every RPC slower than N milliseconds as a one-line
+// JSON record (op, ARU, trace/span ids, last durable batch, duration)
+// and triggers the flight recorder. The flight recorder is always on:
+// a panic, a slow-RPC breach or SIGUSR1 dumps the recent spans,
+// events and histograms to aru-flight-<ts>.json in the working
+// directory. -trace-out writes the final span timeline as Chrome
+// trace JSON on shutdown.
 //
 // Drive it with `aru-bench -connect HOST:PORT` or any aru.Dial
 // client; stop it with SIGINT/SIGTERM for a clean close (flush +
@@ -26,21 +36,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"aru"
 	"aru/internal/obs"
 )
 
+// slowLogWriter forwards slow-op records and arms the flight recorder:
+// a slow-RPC breach is exactly the moment the recent span history is
+// worth keeping (rate-limited by the recorder's MinGap).
+type slowLogWriter struct {
+	w  io.Writer
+	fr *aru.FlightRecorder
+}
+
+func (s *slowLogWriter) Write(p []byte) (int, error) {
+	if path, err := s.fr.TryDump("slow RPC"); err == nil && path != "" {
+		fmt.Fprintf(os.Stderr, "aru-serve: slow RPC — flight record dumped to %s\n", path)
+	}
+	return s.w.Write(p)
+}
+
 func main() {
 	listen := flag.String("listen", ":9477", "address to serve the LD protocol on")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/trace on this address")
 	segs := flag.Int("segs", 128, "log segments when creating a fresh image (0.5 MB each)")
 	mem := flag.Bool("mem", false, "serve a volatile in-memory disk instead of an image file")
 	quiet := flag.Bool("quiet", false, "suppress per-connection log lines")
+	slowMs := flag.Int("slow-ms", 0, "log RPCs slower than this many milliseconds as JSON lines (0 = off)")
+	traceOut := flag.String("trace-out", "", "write the span timeline as Chrome trace JSON to this file on shutdown")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -50,6 +79,11 @@ func main() {
 
 	tracer := aru.NewTracer(aru.TracerConfig{})
 	params := aru.Params{Tracer: tracer}
+
+	// The flight recorder is always armed: a panic anywhere under main
+	// dumps the recent spans/events/histograms before re-panicking.
+	flight := aru.NewFlightRecorder(tracer)
+	defer flight.OnPanic()
 
 	var d *aru.Disk
 	switch {
@@ -93,11 +127,15 @@ func main() {
 		}
 	}
 
-	opts := aru.NetServerOptions{}
+	opts := aru.NetServerOptions{Tracer: tracer}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *slowMs > 0 {
+		opts.SlowOp = time.Duration(*slowMs) * time.Millisecond
+		opts.SlowLog = &slowLogWriter{w: os.Stderr, fr: flight}
 	}
 	srv := aru.NewNetServer(d, opts)
 
@@ -125,6 +163,20 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// SIGUSR1 dumps a flight record on demand (no rate limit: an
+	// operator asked for it).
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			if path, err := flight.Dump("SIGUSR1"); err == nil {
+				fmt.Fprintf(os.Stderr, "aru-serve: flight record dumped to %s\n", path)
+			} else {
+				fmt.Fprintf(os.Stderr, "aru-serve: flight dump failed: %v\n", err)
+			}
+		}
+	}()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -137,6 +189,19 @@ func main() {
 	}
 
 	_ = srv.Close()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("trace out: %v", err)
+		}
+		if err := aru.WriteChromeTrace(f, tracer.Spans()); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fail("writing %s: %v", *traceOut, err)
+		}
+		fmt.Printf("aru-serve: span timeline written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
 	m := srv.Metrics()
 	st := d.Stats()
 	if err := d.Close(); err != nil {

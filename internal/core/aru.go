@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"aru/internal/obs"
 	"aru/internal/seg"
@@ -103,6 +104,18 @@ func (d *LLD) BeginARU() (ARUID, error) {
 // EndARU provides atomicity, not durability: call Flush to force
 // persistence.
 func (d *LLD) EndARU(aru ARUID) error {
+	return d.EndARUTraced(aru, obs.SpanContext{})
+}
+
+// EndARUTraced is EndARU carrying trace context (DESIGN.md §13): the
+// commit runs under an engine-commit span parented on sc (e.g. the
+// network server's op span), and the commit record's eventual durable
+// ack — wherever the covering sync happens — joins the same trace.
+// With span recording enabled but sc zero (a local, untraced caller)
+// the commit roots a fresh trace, so batch causality is observable
+// even without a network client. With spans disabled this is exactly
+// EndARU.
+func (d *LLD) EndARUTraced(aru ARUID, sc obs.SpanContext) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -112,22 +125,47 @@ func (d *LLD) EndARU(aru ARUID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
 	}
-	if d.params.Variant == VariantOld {
-		return d.endARUOld(aru, st)
+	var (
+		t0     time.Duration
+		spanID uint64
+	)
+	if d.obs.SpanEnabled() {
+		t0 = d.obs.Now()
+		spanID = d.obs.NextID()
+		if sc.Trace == 0 {
+			sc.Trace = d.obs.NextID()
+		}
+	} else {
+		sc = obs.SpanContext{}
 	}
-	return d.endARUNew(aru, st)
+	replayed := uint64(len(st.linkLog))
+	var err error
+	if d.params.Variant == VariantOld {
+		err = d.endARUOld(aru, st, sc.Trace, spanID)
+	} else {
+		err = d.endARUNew(aru, st, sc.Trace, spanID)
+	}
+	if spanID != 0 && err == nil {
+		d.obs.EmitSpan(obs.Span{
+			Trace: sc.Trace, ID: spanID, Parent: sc.Span,
+			Kind: obs.SpanEngineCommit, Start: t0, Dur: d.obs.Now() - t0,
+			ARU: uint64(aru), Arg1: replayed,
+		})
+	}
+	return err
 }
 
 // endARUOld commits a sequential-variant ARU: the operations already
 // executed in the committed state, so committing only logs the commit
-// record and releases the promotion gate.
-func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
+// record and releases the promotion gate. trace/span carry the
+// engine-commit span for the durable ack (zero when untraced).
+func (d *LLD) endARUOld(aru ARUID, st *aruState, trace, span uint64) error {
 	if err := d.ensureRoom(0, 1); err != nil {
 		return err
 	}
 	cts := d.tick()
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
-	d.stampCommit(aru)
+	d.stampCommit(aru, trace, span)
 	d.ungate(st, cts)
 	delete(d.arus, aru)
 	d.putState(st)
@@ -143,8 +181,9 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState) error {
 // records), and finally the commit record is generated. All committed
 // records touched stay gated until the commit record is logged, so a
 // segment write in the middle of the merge can never promote a partial
-// commit.
-func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
+// commit. trace/span carry the engine-commit span for the durable ack
+// (zero when untraced).
+func (d *LLD) endARUNew(aru ARUID, st *aruState, trace, span uint64) error {
 	gate := mode{view: seg.SimpleARU, tag: aru, tracked: st}
 	if d.params.UnsafeUntaggedReplay {
 		// Fault injection for the crash checker: drop the ARU tag so
@@ -224,7 +263,7 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState) error {
 	replayed := uint64(len(st.linkLog))
 	cts := d.tick()
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindCommit, ARU: aru, TS: cts})
-	d.stampCommit(aru)
+	d.stampCommit(aru, trace, span)
 	d.ungate(st, cts)
 	d.discardShadow(st)
 	delete(d.arus, aru)

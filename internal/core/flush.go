@@ -19,20 +19,54 @@ import (
 // lock is not held while the device works (DESIGN.md §11). With
 // Params.NoGroupCommit each call runs the serial path instead.
 func (d *LLD) Flush() error {
+	return d.FlushTraced(obs.SpanContext{})
+}
+
+// FlushTraced is Flush carrying trace context (DESIGN.md §13): the
+// caller's wait — through the group-commit broker or the serial sync —
+// is recorded as an engine-flush span parented on sc. With spans
+// disabled this is exactly Flush.
+func (d *LLD) FlushTraced(sc obs.SpanContext) error {
 	d.stats.Flushes.Add(1)
+	var (
+		t0     time.Duration
+		spanID uint64
+	)
+	if d.obs.SpanEnabled() {
+		t0 = d.obs.Now()
+		spanID = d.obs.NextID()
+		if sc.Trace == 0 {
+			sc.Trace = d.obs.NextID()
+		}
+	}
+	var err error
 	if d.params.NoGroupCommit {
 		d.mu.Lock()
-		defer d.mu.Unlock()
 		if d.closed {
+			d.mu.Unlock()
 			return ErrClosed
 		}
-		return d.flushLocked()
+		err = d.flushLocked()
+		d.mu.Unlock()
+	} else {
+		if d.obs != nil {
+			g0 := d.obs.Now()
+			defer func() { d.obs.ObserveSince(obs.HistGroupCommitWait, g0) }()
+		}
+		err = d.forceCommit()
 	}
-	if d.obs != nil {
-		t0 := d.obs.Now()
-		defer func() { d.obs.ObserveSince(obs.HistGroupCommitWait, t0) }()
+	if spanID != 0 {
+		var failed uint64
+		if err != nil {
+			failed = 1
+		}
+		d.obs.EmitSpan(obs.Span{
+			Trace: sc.Trace, ID: spanID, Parent: sc.Span,
+			Kind: obs.SpanEngineFlush, Start: t0, Dur: d.obs.Now() - t0,
+			Arg2: failed,
+		})
 	}
-	return d.forceCommit()
+	return err
 }
 
 // flushLocked is the serial durability path: it drains any segments a
@@ -52,6 +86,7 @@ func (d *LLD) flushLocked() error {
 			return fmt.Errorf("lld: sync: %w", err)
 		}
 		d.devDirty = false
+		d.syncSeq++
 	}
 	d.completeSealedLocked()
 	d.commitsDurable()
@@ -100,6 +135,7 @@ func (d *LLD) checkpointLocked() error {
 		return fmt.Errorf("lld: sync before checkpoint: %w", err)
 	}
 	d.devDirty = false
+	d.syncSeq++
 	d.commitsDurable()
 	ck := seg.Checkpoint{
 		CkptTS:     d.ckptTS + 1,
@@ -135,6 +171,7 @@ func (d *LLD) checkpointLocked() error {
 		return fmt.Errorf("lld: sync after checkpoint: %w", err)
 	}
 	d.devDirty = false
+	d.syncSeq++
 	d.ckptSlot = 1 - d.ckptSlot
 	d.ckptTS = ck.CkptTS
 	d.ckptSeq = ck.FlushedSeq

@@ -124,9 +124,27 @@ func (d *LLD) forceCommit() error {
 	return err
 }
 
+// batchTrace carries one batch's causal identity across the leader
+// pass: the batch id (assigned under d.mu once the leader claims
+// work), the batch span (root of the batch's own trace; seg-flush and
+// device-sync spans parent on it), and the sync timing measured with
+// d.mu released. Zero span/trace means span recording is off.
+type batchTrace struct {
+	id    uint64        // batch id (d.batchSeq)
+	trace uint64        // the batch's trace
+	span  uint64        // the SpanCommitBatch id
+	t0    time.Duration // leader start (obs timebase)
+	st0   time.Duration // device-sync start
+	sdur  time.Duration // device-sync duration
+}
+
 // leadBatch runs one batch as its leader: cutoff, seal under d.mu,
 // device I/O outside d.mu, completion under d.mu.
 func (d *LLD) leadBatch(bat *gcBatch) error {
+	var bt batchTrace
+	if d.obs.SpanEnabled() {
+		bt.t0 = d.obs.Now()
+	}
 	d.mu.Lock()
 	// Cutoff. Everything sealed below is covered by this batch; a
 	// caller that arrives after this point joins the next batch (its
@@ -159,6 +177,14 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 		}
 	}
 	d.gcWork = work
+	if len(work) > 0 {
+		d.batchSeq++
+		bt.id = d.batchSeq
+		if d.obs.SpanEnabled() {
+			bt.trace = d.obs.NextID()
+			bt.span = d.obs.NextID()
+		}
+	}
 	needSync := len(work) > 0 || d.devDirty
 	wgen := d.wgen
 	d.mu.Unlock()
@@ -185,18 +211,30 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 		e.written = true
 		d.stats.SegmentsWritten.Add(1)
 		if d.obs != nil {
-			d.obs.ObserveSince(obs.HistSegFlush, t0)
+			now := d.obs.Now()
+			d.obs.Observe(obs.HistSegFlush, now-t0)
 			d.obs.Emit(obs.EvSegFlush, 0, uint64(e.idx), e.seq)
+			if bt.span != 0 {
+				d.obs.EmitSpan(obs.Span{
+					Trace: bt.trace, ID: d.obs.NextID(), Parent: bt.span,
+					Kind: obs.SpanSegFlush, Start: t0, Dur: now - t0,
+					Arg1: uint64(e.idx), Arg2: e.seq,
+				})
+			}
 		}
 	}
 	synced := false
 	if ioErr == nil && !d.params.UnsafeNoSyncOnFlush && !d.params.UnsafeAckBeforeSync {
 		t0 := time.Now()
+		if bt.span != 0 {
+			bt.st0 = d.obs.Now()
+		}
 		if err := d.dev.Sync(); err != nil {
 			ioErr = fmt.Errorf("lld: sync: %w", err)
 		} else {
 			synced = true
 			bat.syncDur = time.Since(t0)
+			bt.sdur = bat.syncDur
 		}
 	}
 
@@ -212,7 +250,7 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 		}
 		return ioErr
 	}
-	d.finishBatchLocked(work, synced, wgen)
+	d.finishBatchLocked(work, synced, wgen, &bt)
 	for i := range work {
 		work[i] = nil
 	}
@@ -289,9 +327,18 @@ func (d *LLD) sealBatchLocked() error {
 // observed, and builders return to the spare pool. synced reports
 // whether the device sync ran (false only under UnsafeAckBeforeSync);
 // wgen is the leader's pre-I/O snapshot of the write generation, used
-// to clear devDirty only if no unsynced write raced the batch. Caller
-// holds d.mu.
-func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64) {
+// to clear devDirty only if no unsynced write raced the batch; bt is
+// the leader's batch identity — every durable ack drained here names
+// bt.id and the sync id assigned below. Caller holds d.mu.
+func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64, bt *batchTrace) {
+	var syncID uint64
+	if synced {
+		d.syncSeq++
+		syncID = d.syncSeq
+	}
+	if len(work) > 0 {
+		d.lastBatch.Store(bt.id)
+	}
 	commits := 0
 	for _, e := range work {
 		commits += e.commits
@@ -301,7 +348,7 @@ func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64) {
 				delete(d.reuseQuarantine, s)
 			}
 		}
-		d.observeStamps(e.stamps)
+		d.emitStampsDurable(e.stamps, bt.id, syncID)
 		d.putBuilder(e.bld)
 		if d.commitStamps == nil && cap(e.stamps) > 0 {
 			// Return the stamp capacity: nothing was stamped since the
@@ -335,6 +382,21 @@ func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64) {
 		if d.obs != nil {
 			d.obs.Emit(obs.EvCommitBatch, 0, uint64(commits), uint64(len(work)))
 			d.obs.Observe(obs.HistCommitBatch, time.Duration(commits))
+		}
+		if bt.span != 0 {
+			now := d.obs.Now()
+			d.obs.EmitSpan(obs.Span{
+				Trace: bt.trace, ID: bt.span,
+				Kind: obs.SpanCommitBatch, Start: bt.t0, Dur: now - bt.t0,
+				Arg1: bt.id, Arg2: uint64(commits),
+			})
+			if synced {
+				d.obs.EmitSpan(obs.Span{
+					Trace: bt.trace, ID: d.obs.NextID(), Parent: bt.span,
+					Kind: obs.SpanDeviceSync, Start: bt.st0, Dur: bt.sdur,
+					Arg1: syncID,
+				})
+			}
 		}
 	}
 	d.maybeMaintain()
@@ -379,7 +441,7 @@ func (d *LLD) completeSealedLocked() {
 				delete(d.reuseQuarantine, s)
 			}
 		}
-		d.observeStamps(e.stamps)
+		d.emitStampsDurable(e.stamps, 0, d.syncSeq)
 		d.putBuilder(e.bld)
 		if d.commitStamps == nil && cap(e.stamps) > 0 {
 			d.commitStamps = e.stamps[:0]
@@ -441,18 +503,4 @@ func (d *LLD) putBuilder(b *seg.Builder) {
 	}
 	b.Reset()
 	d.spareBuilders = append(d.spareBuilders, b)
-}
-
-// observeStamps drains one batch's commit stamps into the
-// EndARU-to-durable histogram (see commitsDurable for the serial-path
-// equivalent). Caller holds d.mu.
-func (d *LLD) observeStamps(stamps []commitStamp) {
-	if d.obs == nil || len(stamps) == 0 {
-		return
-	}
-	now := d.obs.Now()
-	for _, cs := range stamps {
-		d.obs.Observe(obs.HistCommitDurable, now-cs.t0)
-		d.obs.Emit(obs.EvCommitDurable, uint64(cs.aru), 0, 0)
-	}
 }

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aru/internal/disk"
 	"aru/internal/obs"
@@ -349,6 +350,14 @@ type LLD struct {
 	// devDirty if no write raced its sync.
 	devDirty bool
 	wgen     uint64
+	// Batch/sync causality counters (DESIGN.md §13): batchSeq numbers
+	// completed group-commit batches, syncSeq numbers successful device
+	// syncs (both paths — every durable ack names its sync). Guarded by
+	// mu; lastBatch mirrors the newest completed batch id atomically so
+	// lock-free readers (the server's slow-op log) can attribute work.
+	batchSeq  uint64
+	syncSeq   uint64
+	lastBatch atomic.Uint64
 	// reuseQuarantine refcounts segments whose live count went to zero
 	// through a broker seal's promotion: they must not be rewritten
 	// until that seal's batch has synced (see sealBatchLocked).

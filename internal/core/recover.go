@@ -83,6 +83,14 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	if p.Tracer != nil {
 		t0 = p.Tracer.Now()
 	}
+	// Recovery roots its own trace: each replayed segment becomes a
+	// child span, so a slow recovery shows *which* segment cost the
+	// time (DESIGN.md §13).
+	var rtrace, rspan uint64
+	if p.Tracer.SpanEnabled() {
+		rtrace = p.Tracer.NextID()
+		rspan = p.Tracer.NextID()
+	}
 	sb := make([]byte, seg.SectorSize)
 	if err := dev.ReadAt(sb, 0); err != nil {
 		return nil, RecoveryReport{}, fmt.Errorf("lld: reading superblock: %w", err)
@@ -173,6 +181,10 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 
 	segBuf := make([]byte, layout.SegBytes)
 	for _, ls := range replay {
+		var st0 time.Duration
+		if rspan != 0 {
+			st0 = d.obs.Now()
+		}
 		if err := dev.ReadAt(segBuf, layout.SegOff(ls.idx)); err != nil {
 			return nil, RecoveryReport{}, fmt.Errorf("lld: reading segment %d: %w", ls.idx, err)
 		}
@@ -190,6 +202,13 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 			rpt.EntriesReplayed++
 		}
 		d.obs.Emit(obs.EvRecoverySeg, 0, uint64(ls.idx), uint64(len(entries)))
+		if rspan != 0 {
+			d.obs.EmitSpan(obs.Span{
+				Trace: rtrace, ID: d.obs.NextID(), Parent: rspan,
+				Kind: obs.SpanRecoverySeg, Start: st0, Dur: d.obs.Now() - st0,
+				Arg1: uint64(ls.idx), Arg2: uint64(len(entries)),
+			})
+		}
 		if ls.tr.Seq > maxSeq {
 			maxSeq = ls.tr.Seq
 		}
@@ -269,6 +288,13 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	if d.obs != nil {
 		d.obs.ObserveSince(obs.HistRecovery, t0)
 		d.obs.Emit(obs.EvRecoveryDone, 0, uint64(rpt.EntriesReplayed), uint64(rpt.ARUsRecovered))
+		if rspan != 0 {
+			d.obs.EmitSpan(obs.Span{
+				Trace: rtrace, ID: rspan,
+				Kind: obs.SpanRecovery, Start: t0, Dur: d.obs.Now() - t0,
+				Arg1: uint64(rpt.EntriesReplayed), Arg2: uint64(rpt.ARUsRecovered),
+			})
+		}
 	}
 	return d, rpt, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aru"
+	"aru/internal/obs"
 )
 
 // NetOptions configures RunNetWorkload, the mixed-ARU workload that
@@ -37,6 +38,12 @@ type NetOptions struct {
 	VerifySample int
 	// Seed makes the workload deterministic (default 1).
 	Seed int64
+	// Tracer, when non-nil and span-enabled, is censused after the
+	// run: NetResult reports how many spans the client recorded and
+	// how many its ring dropped, so trace loss is visible next to the
+	// throughput numbers (DESIGN.md §13). The workload itself does not
+	// emit spans — the traced client it drives does.
+	Tracer *obs.Tracer
 }
 
 func (o NetOptions) withDefaults() NetOptions {
@@ -73,6 +80,10 @@ type NetResult struct {
 	Reads   int64         `json:"reads"`   // block reads issued (incl. verification)
 	Bytes   int64         `json:"bytes"`   // payload bytes moved
 	Elapsed time.Duration `json:"elapsed"` // wall-clock time
+	// Spans / SpansDropped census NetOptions.Tracer after the run
+	// (both zero when no span-enabled tracer was attached).
+	Spans        int    `json:"spans,omitempty"`
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
 }
 
 // ARUsPerSec returns committed+aborted units per wall-clock second.
@@ -207,6 +218,10 @@ func RunNetWorkload(d aru.Interface, o NetOptions) (NetResult, error) {
 	}
 
 	res.Elapsed = time.Since(start)
+	if o.Tracer.SpanEnabled() {
+		res.Spans = len(o.Tracer.Spans())
+		res.SpansDropped = o.Tracer.SpansDropped()
+	}
 	return res, nil
 }
 
@@ -219,5 +234,9 @@ func FormatNet(r NetResult) string {
 		r.Writes, r.Reads, float64(r.Bytes)/(1<<20))
 	fmt.Fprintf(&b, "  elapsed  %8s   %.0f ARU/s   %.0f IO/s\n",
 		r.Elapsed.Round(time.Millisecond), r.ARUsPerSec(), r.IOPerSec())
+	if r.Spans > 0 || r.SpansDropped > 0 {
+		fmt.Fprintf(&b, "  spans    %8d   recorded client-side (%d dropped by the ring)\n",
+			r.Spans, r.SpansDropped)
+	}
 	return b.String()
 }

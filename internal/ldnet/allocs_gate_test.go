@@ -10,11 +10,13 @@ package ldnet
 // batch at ≤5 per write.
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"aru/internal/alloctest"
 	"aru/internal/core"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -82,6 +84,37 @@ func TestAllocsNetPipelinedWrite(t *testing.T) {
 	}
 	op()
 	alloctest.Check(t, "pipelined write ×64", 320, 50, op)
+}
+
+// TestAllocsNetTracedRoundtrip gates the *traced* ping path: with
+// spans enabled on both ends the only additions per request are the
+// 16-byte wire context (encoded into the existing header scratch), the
+// span fields on the Call, and two lock-free ring slots — so the
+// budget is the same 5 allocs the untraced roundtrip gets.
+func TestAllocsNetTracedRoundtrip(t *testing.T) {
+	tr := obs.New(obs.Config{})
+	backend := newBackendTraced(t, 256, tr)
+	srv := NewServer(backend, ServerOptions{Tracer: tr})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(ln.Addr().String(), ClientConfig{RPCTimeout: 30 * time.Second, Tracer: tr})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	op := func() {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		op()
+	}
+	alloctest.Check(t, "traced net roundtrip (ping)", 5, 200, op)
 }
 
 // TestAllocsNetPipelinedRead gates the read-side counterpart: the

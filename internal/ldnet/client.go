@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aru/internal/core"
+	"aru/internal/obs"
 )
 
 // A Client is a valid server Backend: a proxy/relay is just a Server
@@ -38,6 +39,12 @@ type ClientConfig struct {
 	RetryBackoff time.Duration
 	// MaxFrame caps response frame sizes (default DefaultMaxFrame).
 	MaxFrame uint32
+	// Tracer, when non-nil with spans enabled, records a client-rpc
+	// span per request and offers FeatureTrace at HELLO so the server
+	// continues the trace: its server-op and engine spans are parented
+	// on this client's RPC spans (DESIGN.md §13). Against a v1 server
+	// the client downgrades automatically and spans stay client-local.
+	Tracer *obs.Tracer
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -90,11 +97,17 @@ type Client struct {
 	pending   map[uint64]*Call
 	closed    bool
 
+	// features holds the flags the current connection negotiated;
+	// legacyHello remembers that the server rejected the extended
+	// HELLO, so redials skip straight to the flag-free form.
+	features    uint32
+	legacyHello bool
+
 	// reqHdr is the request-header scratch send encodes into (under
-	// c.mu): frame length, request id, opcode and up to four u64
-	// arguments. Keeping it on the client means the hot send path
-	// allocates no per-request buffers.
-	reqHdr [45]byte
+	// c.mu): frame length, request id, opcode, optional trace context
+	// and up to four u64 arguments. Keeping it on the client means the
+	// hot send path allocates no per-request buffers.
+	reqHdr [61]byte
 
 	// frames is the response-frame free list (guarded by frameMu, not
 	// c.mu, so returning a frame never contends with senders). The
@@ -193,12 +206,32 @@ func (c *Client) Close() error {
 }
 
 // redialLocked establishes the connection and runs the handshake
-// synchronously (the read loop starts only afterwards). Caller holds
-// c.mu.
+// synchronously (the read loop starts only afterwards). With tracing
+// configured it first tries the extended HELLO (feature flags); a v1
+// server drops that connection, so on failure it retries once with
+// the flag-free form and remembers the downgrade. Caller holds c.mu.
 func (c *Client) redialLocked() error {
 	if c.closed {
 		return ErrClientClosed
 	}
+	wantFlags := uint32(0)
+	if c.cfg.Tracer.SpanEnabled() && !c.legacyHello {
+		wantFlags = FeatureTrace
+	}
+	err := c.dialLocked(wantFlags)
+	if err != nil && wantFlags != 0 && !c.closed {
+		if legacyErr := c.dialLocked(0); legacyErr == nil {
+			c.legacyHello = true
+			return nil
+		}
+	}
+	return err
+}
+
+// dialLocked is one connection attempt: dial, HELLO (extended when
+// flags != 0), parse the response and install the connection. Caller
+// holds c.mu.
+func (c *Client) dialLocked(flags uint32) error {
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("%w: dial %s: %v", ErrDisconnected, c.addr, err)
@@ -208,11 +241,14 @@ func (c *Client) redialLocked() error {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	br := bufio.NewReaderSize(conn, 64<<10)
 
-	e := newEnc(16)
+	e := newEnc(24)
 	e.u64(0) // handshake request id
 	e.u8(opHello)
 	e.u32(Magic)
 	e.u16(Version)
+	if flags != 0 {
+		e.u32(flags)
+	}
 	if err := writeFrame(bw, e.b, c.cfg.MaxFrame); err == nil {
 		err = bw.Flush()
 	} else {
@@ -237,7 +273,12 @@ func (c *Client) redialLocked() error {
 	ver := d.u16()
 	blockSize := int(d.u32())
 	d.u32() // server max frame (informational)
-	if !d.ok() || ver != Version || blockSize <= 0 {
+	var features uint32
+	if flags != 0 && len(d.b) >= 4 {
+		features = d.u32()
+	}
+	d.rest() // reserved for future response extensions
+	if d.bad || ver != Version || blockSize <= 0 {
 		conn.Close()
 		return fmt.Errorf("%w: bad handshake response", ErrProtocol)
 	}
@@ -250,6 +291,7 @@ func (c *Client) redialLocked() error {
 	c.conn = conn
 	c.bw = bw
 	c.blockSize = blockSize
+	c.features = features & flags
 	go c.readLoop(conn, br)
 	return nil
 }
@@ -340,6 +382,15 @@ type Call struct {
 	body []byte
 	err  error
 
+	// Trace context (zero with tracing off): the client-rpc span is
+	// emitted when the call completes, and trace/span travel with the
+	// request on FeatureTrace sessions so the server continues the
+	// chain. aru is the first request argument, kept for the span.
+	trace uint64
+	span  uint64
+	aru   uint64
+	t0    time.Duration
+
 	// frame is the pooled response buffer body aliases, if any;
 	// finish (idempotent, guarded by released) returns it.
 	frame    []byte
@@ -349,6 +400,18 @@ type Call struct {
 func (call *Call) complete(body []byte, err error) {
 	call.body = body
 	call.err = err
+	if call.span != 0 {
+		tr := call.c.cfg.Tracer
+		var failed uint64
+		if err != nil {
+			failed = 1
+		}
+		tr.EmitSpan(obs.Span{
+			Trace: call.trace, ID: call.span, Kind: obs.SpanClientRPC,
+			Start: call.t0, Dur: tr.Now() - call.t0,
+			ARU: call.aru, Arg1: uint64(call.op), Arg2: failed,
+		})
+	}
 	close(call.done)
 }
 
@@ -456,6 +519,14 @@ func head4(a, b, c, d uint64) reqHead { return reqHead{n: 4, v: [4]uint64{a, b, 
 // consumed before send returns.
 func (c *Client) send(op uint8, hd reqHead, payload []byte) *Call {
 	call := &Call{c: c, op: op, done: make(chan struct{})}
+	if tr := c.cfg.Tracer; tr.SpanEnabled() {
+		call.t0 = tr.Now()
+		call.trace = tr.NextID()
+		call.span = tr.NextID()
+		if hd.n > 0 {
+			call.aru = hd.v[0] // first argument is the ARU on every op that has one
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -472,14 +543,27 @@ func (c *Client) send(op uint8, hd reqHead, payload []byte) *Call {
 	c.nextID++
 	call.id = c.nextID
 	c.pending[call.id] = call
+	// Trace context travels only on sessions that negotiated it; spans
+	// stay client-local otherwise.
+	traced := call.trace != 0 && c.features&FeatureTrace != 0
+	extra := 0
+	if traced {
+		extra = 16
+	}
 	var err error
-	if n := 9 + 8*hd.n + len(payload); uint32(n) > c.cfg.MaxFrame {
+	if n := 9 + extra + 8*hd.n + len(payload); uint32(n) > c.cfg.MaxFrame {
 		err = errFrameTooBig
 	} else {
 		hdr := c.reqHdr[:0]
 		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
 		hdr = binary.LittleEndian.AppendUint64(hdr, call.id)
-		hdr = append(hdr, op)
+		if traced {
+			hdr = append(hdr, op|opTraceFlag)
+			hdr = binary.LittleEndian.AppendUint64(hdr, call.trace)
+			hdr = binary.LittleEndian.AppendUint64(hdr, call.span)
+		} else {
+			hdr = append(hdr, op)
+		}
 		for i := 0; i < hd.n; i++ {
 			hdr = binary.LittleEndian.AppendUint64(hdr, hd.v[i])
 		}

@@ -54,6 +54,29 @@ const (
 	DefaultMaxFrame uint32 = 4 << 20
 )
 
+// Feature flags, negotiated at HELLO. A client that wants extensions
+// appends a u32 flag word to its HELLO body; the server answers with
+// the subset it accepts (also as a trailing u32), and only negotiated
+// features may appear on the session's subsequent requests. A client
+// that sends no flag word (every v1 build) gets the base protocol and
+// a flag-free HELLO response, so old binaries on either side are
+// unaffected. A v1 *server* rejects the extended HELLO outright (its
+// strict parser treats the trailing word as garbage and drops the
+// connection); the client then retries with a flag-free HELLO and
+// remembers the downgrade for later redials.
+const (
+	// FeatureTrace enables per-request trace context: the client may
+	// set opTraceFlag on an opcode and prefix the body with
+	// | u64 trace | u64 span | (DESIGN.md §13).
+	FeatureTrace uint32 = 1 << 0
+)
+
+// opTraceFlag marks a traced request: the opcode's high bit, valid
+// only on sessions that negotiated FeatureTrace (elsewhere it makes
+// the opcode unknown, exactly as in v1). The real opcode is the low
+// seven bits; the body then starts with | u64 trace | u64 span |.
+const opTraceFlag uint8 = 0x80
+
 // Opcodes of the LD service. The names follow the facade API
 // (DeleteBlock is the paper's FreeBlock, Sync is Flush).
 const (
@@ -397,22 +420,50 @@ type reqArgs struct {
 	data  []byte
 	magic uint32
 	ver   uint16
+
+	// hasFlags/flags: the optional HELLO feature word (absent on v1
+	// clients). trace/span: the request's trace context, present when
+	// the opcode carried opTraceFlag on a FeatureTrace session.
+	hasFlags bool
+	flags    uint32
+	trace    uint64
+	span     uint64
 }
 
 // parseRequest decodes one request frame. maxData caps the write
-// payload (the server passes its block size). It never panics on
+// payload (the server passes its block size); allowTrace is whether
+// the session negotiated FeatureTrace — without it an opTraceFlag
+// opcode is unknown, exactly as on a v1 server. It never panics on
 // malformed input; FuzzParseRequest enforces that.
-func parseRequest(frame []byte, maxData int) (reqID uint64, op uint8, a reqArgs, err error) {
+func parseRequest(frame []byte, maxData int, allowTrace bool) (reqID uint64, op uint8, a reqArgs, err error) {
 	d := &dec{b: frame}
 	reqID = d.u64()
 	op = d.u8()
 	if d.bad {
 		return 0, 0, a, fmt.Errorf("%w: short request header (%d bytes)", ErrProtocol, len(frame))
 	}
+	if op&opTraceFlag != 0 {
+		if !allowTrace {
+			return reqID, op, a, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+		}
+		op &^= opTraceFlag
+		a.trace = d.u64()
+		a.span = d.u64()
+		if d.bad {
+			return reqID, op, a, fmt.Errorf("%w: short trace context on %s request", ErrProtocol, opName(op))
+		}
+	}
 	switch op {
 	case opHello:
 		a.magic = d.u32()
 		a.ver = d.u16()
+		if !d.bad && len(d.b) > 0 {
+			// Optional feature word, then reserved space for future
+			// extensions (ignored so a newer client still negotiates).
+			a.flags = d.u32()
+			a.hasFlags = true
+			d.rest()
+		}
 	case opRead, opStatBlock:
 		a.aru = core.ARUID(d.u64())
 		a.blk = core.BlockID(d.u64())

@@ -24,7 +24,7 @@ func TestParseRequestRobustness(t *testing.T) {
 	e.u64(42)
 	valid := e.b
 
-	if id, op, a, err := parseRequest(valid, 4096); err != nil || id != 7 || op != opRead || a.blk != 42 {
+	if id, op, a, err := parseRequest(valid, 4096, false); err != nil || id != 7 || op != opRead || a.blk != 42 {
 		t.Fatalf("valid request failed to parse: id=%d op=%d err=%v", id, op, err)
 	}
 
@@ -55,7 +55,7 @@ func TestParseRequestRobustness(t *testing.T) {
 		}()},
 	}
 	for _, tc := range cases {
-		if _, _, _, err := parseRequest(tc.frame, 4096); err == nil {
+		if _, _, _, err := parseRequest(tc.frame, 4096, false); err == nil {
 			t.Errorf("%s: parseRequest accepted malformed input", tc.name)
 		} else if !errors.Is(err, ErrProtocol) {
 			t.Errorf("%s: error %v does not wrap ErrProtocol", tc.name, err)
@@ -69,8 +69,77 @@ func TestParseRequestRobustness(t *testing.T) {
 	e.u64(0)
 	e.u64(1)
 	e.bytes(make([]byte, 33))
-	if _, _, _, err := parseRequest(e.b, 32); !errors.Is(err, ErrProtocol) {
+	if _, _, _, err := parseRequest(e.b, 32, false); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("oversized write payload: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestParseRequestTraceContext(t *testing.T) {
+	// A traced read: 0x80 | opRead, body prefixed with trace + span.
+	e := newEnc(64)
+	e.u64(7)
+	e.u8(opRead | opTraceFlag)
+	e.u64(0xABCD) // trace
+	e.u64(0xEF01) // span
+	e.u64(3)      // aru
+	e.u64(42)     // blk
+	traced := e.b
+
+	// On a FeatureTrace session the context is stripped and decoded.
+	id, op, a, err := parseRequest(traced, 4096, true)
+	if err != nil || id != 7 || op != opRead {
+		t.Fatalf("traced request: id=%d op=%d err=%v", id, op, err)
+	}
+	if a.trace != 0xABCD || a.span != 0xEF01 || a.aru != 3 || a.blk != 42 {
+		t.Fatalf("traced request args: %+v", a)
+	}
+
+	// Without the negotiated feature the same frame is an unknown
+	// opcode — exactly what a v1 server would say.
+	if _, _, _, err := parseRequest(traced, 4096, false); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("un-negotiated traced request: got %v, want ErrProtocol", err)
+	}
+
+	// A traced header cut off mid-context is malformed, not a panic.
+	if _, _, _, err := parseRequest(traced[:17], 4096, true); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("short trace context: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestParseRequestHelloFlags(t *testing.T) {
+	base := func() *enc {
+		e := newEnc(32)
+		e.u64(1)
+		e.u8(opHello)
+		e.u32(Magic)
+		e.u16(Version)
+		return e
+	}
+
+	// v1 HELLO: no flags.
+	if _, _, a, err := parseRequest(base().b, 4096, false); err != nil || a.hasFlags {
+		t.Fatalf("flag-free HELLO: hasFlags=%v err=%v", a.hasFlags, err)
+	}
+
+	// Extended HELLO: trailing feature word.
+	e := base()
+	e.u32(FeatureTrace)
+	if _, _, a, err := parseRequest(e.b, 4096, false); err != nil || !a.hasFlags || a.flags != FeatureTrace {
+		t.Fatalf("extended HELLO: args=%+v err=%v", a, err)
+	}
+
+	// Reserved bytes after the feature word are ignored (a future
+	// client's longer HELLO still negotiates on this build).
+	e.u64(0xFFFF)
+	if _, _, a, err := parseRequest(e.b, 4096, false); err != nil || a.flags != FeatureTrace {
+		t.Fatalf("HELLO with reserved tail: args=%+v err=%v", a, err)
+	}
+
+	// A short flag word (1–3 trailing bytes) is malformed.
+	e = base()
+	e.u8(1)
+	if _, _, _, err := parseRequest(e.b, 4096, false); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("short HELLO flags: got %v, want ErrProtocol", err)
 	}
 }
 
@@ -325,9 +394,10 @@ func TestServerDropsTruncatedFrame(t *testing.T) {
 // ---- Fuzzing ---------------------------------------------------------
 
 // FuzzParseRequest: arbitrary request frames must produce a value or
-// an error, never a panic or an over-read.
+// an error, never a panic or an over-read — with trace context
+// negotiated or not.
 func FuzzParseRequest(f *testing.F) {
-	// Seed with one valid frame per opcode shape.
+	// Seed with one valid frame per opcode shape, plain and traced.
 	for op := uint8(1); int(op) < numOps; op++ {
 		e := newEnc(64)
 		e.u64(uint64(op))
@@ -337,13 +407,42 @@ func FuzzParseRequest(f *testing.F) {
 		e.u64(3)
 		e.u64(4)
 		f.Add(e.b)
+
+		e = newEnc(80)
+		e.u64(uint64(op))
+		e.u8(op | opTraceFlag)
+		e.u64(0x1111) // trace
+		e.u64(0x2222) // span
+		e.u64(1)
+		e.u64(2)
+		e.u64(3)
+		e.u64(4)
+		f.Add(e.b)
 	}
+	// Extended HELLO (feature word, and with a reserved tail) and a
+	// trace header cut off mid-context.
+	e := newEnc(32)
+	e.u64(1)
+	e.u8(opHello)
+	e.u32(Magic)
+	e.u16(Version)
+	e.u32(FeatureTrace)
+	f.Add(e.b)
+	e.u64(0xFFFF)
+	f.Add(e.b)
+	e = newEnc(32)
+	e.u64(1)
+	e.u8(opSync | opTraceFlag)
+	e.u32(0xAB)
+	f.Add(e.b)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		reqID, op, a, err := parseRequest(frame, 4096)
-		if err == nil && len(a.data) > 4096 {
-			t.Fatalf("accepted oversized payload (%d bytes) for op %d req %d", len(a.data), op, reqID)
+		for _, allowTrace := range []bool{false, true} {
+			reqID, op, a, err := parseRequest(frame, 4096, allowTrace)
+			if err == nil && len(a.data) > 4096 {
+				t.Fatalf("accepted oversized payload (%d bytes) for op %d req %d", len(a.data), op, reqID)
+			}
 		}
 	})
 }

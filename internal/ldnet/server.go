@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"aru/internal/core"
+	"aru/internal/obs"
 	"aru/internal/seg"
 )
 
@@ -37,6 +39,20 @@ type Backend interface {
 
 var _ Backend = (*core.LLD)(nil)
 
+// TracedBackend is the optional tracing surface of a Backend: commit
+// and flush entry points that accept the caller's span context, plus
+// the id of the most recent group-commit batch (for the slow-op log).
+// *core.LLD implements it; a server whose backend does not simply
+// serves traced requests through the plain methods (the wire context
+// then ends at the server-op span).
+type TracedBackend interface {
+	EndARUTraced(aru core.ARUID, sc obs.SpanContext) error
+	FlushTraced(sc obs.SpanContext) error
+	LastBatch() uint64
+}
+
+var _ TracedBackend = (*core.LLD)(nil)
+
 // ServerOptions configures a Server; the zero value selects defaults.
 type ServerOptions struct {
 	// MaxFrame caps request/response frame sizes (default
@@ -45,6 +61,16 @@ type ServerOptions struct {
 	// Logf, when non-nil, receives connection-level log lines
 	// (accepts, protocol errors, aborts on disconnect).
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil with spans enabled, makes the server offer
+	// FeatureTrace at HELLO and record a server-op span for every
+	// request that carries trace context (DESIGN.md §13).
+	Tracer *obs.Tracer
+	// SlowOp, when positive, logs every request slower than it as a
+	// one-line JSON record (op, ARU, trace/span ids, last batch,
+	// duration) to SlowLog. Zero disables the log.
+	SlowOp time.Duration
+	// SlowLog receives slow-op records (default os.Stderr).
+	SlowLog io.Writer
 }
 
 // Server serves one Backend to any number of TCP clients. Each
@@ -56,6 +82,7 @@ type ServerOptions struct {
 // blocks the ARU allocated are swept by the next consistency check.
 type Server struct {
 	backend  Backend
+	traced   TracedBackend // backend's tracing surface, nil if absent
 	opts     ServerOptions
 	maxFrame uint32
 	metrics  Metrics
@@ -65,6 +92,9 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// slowMu serializes slow-op log lines across connections.
+	slowMu sync.Mutex
 }
 
 // NewServer wraps backend in an unstarted server; call Serve with a
@@ -78,8 +108,10 @@ func NewServer(backend Backend, opts ServerOptions) *Server {
 	if need := uint32(backend.BlockSize() + 64); maxFrame < need {
 		maxFrame = need
 	}
+	traced, _ := backend.(TracedBackend)
 	return &Server{
 		backend:  backend,
+		traced:   traced,
 		opts:     opts,
 		maxFrame: maxFrame,
 		conns:    make(map[net.Conn]struct{}),
@@ -206,11 +238,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.logf("ldnet: %s: bad handshake frame: %v", conn.RemoteAddr(), err)
 		return
 	}
-	reqID, op, args, err := parseRequest(frame, s.backend.BlockSize())
+	reqID, op, args, err := parseRequest(frame, s.backend.BlockSize(), false)
 	if err != nil || op != opHello || args.magic != Magic || args.ver != Version {
 		m.protoErrors.Add(1)
 		s.logf("ldnet: %s: bad handshake (op=%d err=%v)", conn.RemoteAddr(), op, err)
 		return
+	}
+	// Feature negotiation: grant the intersection of what the client
+	// asked for and what this server supports. A flag-free HELLO (every
+	// v1 client) gets the flag-free v1 response.
+	var features uint32
+	if args.hasFlags && s.opts.Tracer.SpanEnabled() {
+		features = args.flags & FeatureTrace
 	}
 	e := newEnc(32)
 	e.u64(reqID)
@@ -218,9 +257,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	e.u16(Version)
 	e.u32(uint32(s.backend.BlockSize()))
 	e.u32(s.maxFrame)
+	if args.hasFlags {
+		e.u32(features)
+	}
 	if writeFrame(bw, e.b, s.maxFrame) != nil || bw.Flush() != nil {
 		return
 	}
+	allowTrace := features&FeatureTrace != 0
 
 	sess := &session{owned: make(map[core.ARUID]struct{})}
 	// Disconnect ≡ abort: whatever ends this connection, every ARU the
@@ -264,7 +307,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		reqID, op, args, err := parseRequest(frame, s.backend.BlockSize())
+		reqID, op, args, err := parseRequest(frame, s.backend.BlockSize(), allowTrace)
 		if err != nil {
 			// An unknown opcode or malformed body on an otherwise
 			// intact frame stream is answered, not fatal: framing is
@@ -276,8 +319,31 @@ func (s *Server) handleConn(conn net.Conn) {
 			continue
 		}
 		t0 := time.Now()
+		// A traced request gets a server-op span; the engine spans it
+		// triggers chain below that span, not the client's, so the
+		// exported trace shows client-rpc → server-op → engine-commit.
+		var opSpan, opParent uint64
+		var ot0 time.Duration
+		if args.trace != 0 && s.opts.Tracer.SpanEnabled() {
+			ot0 = s.opts.Tracer.Now()
+			opSpan = s.opts.Tracer.NextID()
+			opParent = args.span
+			args.span = opSpan
+		}
 		status, body := s.dispatch(sess, op, args)
-		m.observe(op, time.Since(t0), status == statusOK)
+		dur := time.Since(t0)
+		m.observe(op, dur, status == statusOK)
+		if opSpan != 0 {
+			tr := s.opts.Tracer
+			tr.EmitSpan(obs.Span{
+				Trace: args.trace, ID: opSpan, Parent: opParent,
+				Kind: obs.SpanServerOp, Start: ot0, Dur: tr.Now() - ot0,
+				ARU: uint64(args.aru), Arg1: uint64(op), Arg2: uint64(status),
+			})
+		}
+		if s.opts.SlowOp > 0 && dur >= s.opts.SlowOp {
+			s.logSlowOp(op, args, dur, status)
+		}
 		if err := writeResponse(bw, reqID, status, body, s.maxFrame, &pre); err != nil {
 			return
 		}
@@ -293,6 +359,43 @@ func (sess *session) checkARU(aru core.ARUID) error {
 		return errNotOwned(aru)
 	}
 	return nil
+}
+
+// endARU runs EndARU through the backend's tracing surface when the
+// request carries trace context and the backend has one; the engine
+// commit (and the durable ack it later earns) then chains below the
+// server-op span in a.span.
+func (s *Server) endARU(a reqArgs) error {
+	if a.trace != 0 && s.traced != nil {
+		return s.traced.EndARUTraced(a.aru, obs.SpanContext{Trace: a.trace, Span: a.span})
+	}
+	return s.backend.EndARU(a.aru)
+}
+
+// flush is Flush with the same trace-context threading as endARU.
+func (s *Server) flush(a reqArgs) error {
+	if a.trace != 0 && s.traced != nil {
+		return s.traced.FlushTraced(obs.SpanContext{Trace: a.trace, Span: a.span})
+	}
+	return s.backend.Flush()
+}
+
+// logSlowOp writes the one-line JSON slow-op record: which op, which
+// ARU, the span ids a trace viewer can look up, which group-commit
+// batch was last made durable, and how long the op took.
+func (s *Server) logSlowOp(op uint8, a reqArgs, dur time.Duration, status uint8) {
+	w := s.opts.SlowLog
+	if w == nil {
+		w = os.Stderr
+	}
+	var batch uint64
+	if s.traced != nil {
+		batch = s.traced.LastBatch()
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(w, "{\"slow_op\":%q,\"aru\":%d,\"trace\":\"%x\",\"span\":\"%x\",\"batch\":%d,\"status\":%d,\"dur_ms\":%.3f}\n",
+		opName(op), a.aru, a.trace, a.span, batch, status, float64(dur)/float64(time.Millisecond))
+	s.slowMu.Unlock()
 }
 
 // dispatch executes one decoded request against the backend and
@@ -425,7 +528,7 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		if err := sess.checkARU(a.aru); err != nil {
 			return fail(err)
 		}
-		if err := s.backend.EndARU(a.aru); err != nil {
+		if err := s.endARU(a); err != nil {
 			if errors.Is(err, core.ErrNoSuchARU) {
 				delete(sess.owned, a.aru)
 			}
@@ -452,19 +555,19 @@ func (s *Server) dispatch(sess *session, op uint8, a reqArgs) (status uint8, bod
 		// EndARU first so ownership is released the moment the unit is
 		// committed; a flush failure afterwards leaves a committed but
 		// not-yet-durable unit, which is what the error reports.
-		if err := s.backend.EndARU(a.aru); err != nil {
+		if err := s.endARU(a); err != nil {
 			if errors.Is(err, core.ErrNoSuchARU) {
 				delete(sess.owned, a.aru)
 			}
 			return fail(err)
 		}
 		delete(sess.owned, a.aru)
-		if err := s.backend.Flush(); err != nil {
+		if err := s.flush(a); err != nil {
 			return fail(fmt.Errorf("committed but not durable: %w", err))
 		}
 		return statusOK, nil
 	case opSync:
-		if err := s.backend.Flush(); err != nil {
+		if err := s.flush(a); err != nil {
 			return fail(err)
 		}
 		return statusOK, nil

@@ -106,6 +106,15 @@ func Handler(o HandlerOptions) http.Handler {
 				fmt.Fprintf(w, "%s_%s_total %d\n", ns, c.Name, c.Value)
 			}
 		}
+		if o.Tracer != nil {
+			// Trace-loss counters: ring-ticket overrun means the
+			// timeline on /debug/trace is incomplete, which must be
+			// visible to the scraper, not silent.
+			fmt.Fprintf(w, "# TYPE %s_trace_events_dropped_total counter\n", ns)
+			fmt.Fprintf(w, "%s_trace_events_dropped_total %d\n", ns, o.Tracer.EventsDropped())
+			fmt.Fprintf(w, "# TYPE %s_trace_spans_dropped_total counter\n", ns)
+			fmt.Fprintf(w, "%s_trace_spans_dropped_total %d\n", ns, o.Tracer.SpansDropped())
+		}
 		mu.Lock()
 		scratch = o.Tracer.HistogramsInto(scratch)
 		for _, h := range scratch {
@@ -176,6 +185,7 @@ func NewMux(o HandlerOptions) *http.ServeMux {
 	publishExpvar(o)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(o))
+	mux.Handle("/debug/trace", TraceHandler(o.Tracer))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

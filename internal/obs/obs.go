@@ -21,6 +21,7 @@ package obs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -231,15 +232,23 @@ type Config struct {
 	// two (default 4096; negative disables event tracing, leaving only
 	// the histograms).
 	RingSize int
+	// SpanRingSize is the completed-span ring capacity, rounded up to
+	// a power of two (default 4096; negative disables span recording —
+	// span emission then costs a single nil-check, and SpanContexts
+	// stay zero so no trace context crosses the wire).
+	SpanRingSize int
 }
 
-// Tracer is one observability sink: the event ring plus the latency
-// histograms. A single Tracer may be shared by several engine
-// instances (e.g. across crash/recover generations); all methods are
-// safe for concurrent use and a nil *Tracer is a valid no-op sink.
+// Tracer is one observability sink: the event ring, the completed-span
+// ring, and the latency histograms. A single Tracer may be shared by
+// several engine instances (e.g. across crash/recover generations);
+// all methods are safe for concurrent use and a nil *Tracer is a valid
+// no-op sink.
 type Tracer struct {
 	start time.Time
 	ring  *ring
+	spans *spanRing
+	ids   atomic.Uint64 // span/trace id source; see NextID
 	hists [numHists]Histogram
 }
 
@@ -253,6 +262,14 @@ func New(cfg Config) *Tracer {
 		}
 		t.ring = newRing(n)
 	}
+	if cfg.SpanRingSize >= 0 {
+		n := cfg.SpanRingSize
+		if n == 0 {
+			n = 4096
+		}
+		t.spans = newSpanRing(n)
+	}
+	t.ids.Store(newIDBase())
 	return t
 }
 

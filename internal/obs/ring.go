@@ -65,6 +65,19 @@ func (r *ring) emit(ts int64, kind EventKind, aru, arg1, arg2 uint64) {
 	s.seq.Store(2 * ticket) // publish
 }
 
+// dropped returns how many events the ring has overwritten: every
+// ticket beyond the capacity evicted the event capacity slots behind
+// it. Torn snapshot copies are not counted — they are transient (the
+// slot reappears complete in the next snapshot), whereas ticket
+// overrun is permanent loss.
+func (r *ring) dropped() uint64 {
+	n := r.next.Load()
+	if size := uint64(len(r.slots)); n > size {
+		return n - size
+	}
+	return 0
+}
+
 // snapshot drains a consistent copy of every complete event, ordered
 // by ticket.
 func (r *ring) snapshot() []Event {

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aru/internal/alloctest"
+)
+
+// serveOnce spins up h, GETs it once and returns the body.
+func serveOnce(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(body)
+}
+
+func TestSpanRingBasic(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 64})
+	if !tr.SpanEnabled() {
+		t.Fatal("SpanEnabled = false with a span ring configured")
+	}
+	trace := tr.NextID()
+	root := tr.NextID()
+	child := tr.NextID()
+	if trace == 0 || root == 0 || child == 0 || root == child {
+		t.Fatalf("NextID gave trace=%d root=%d child=%d", trace, root, child)
+	}
+	tr.EmitSpan(Span{Trace: trace, ID: root, Kind: SpanEngineCommit, Start: 10, Dur: 5, ARU: 7, Arg1: 3})
+	tr.EmitSpan(Span{Trace: trace, ID: child, Parent: root, Kind: SpanCommitDurable, Start: 12, Dur: 9, ARU: 7, Arg1: 1, Arg2: 2})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Seq >= spans[1].Seq {
+		t.Fatalf("spans out of Seq order: %d then %d", spans[0].Seq, spans[1].Seq)
+	}
+	got := spans[1]
+	if got.Trace != trace || got.ID != child || got.Parent != root ||
+		got.Kind != SpanCommitDurable || got.Start != 12 || got.Dur != 9 ||
+		got.ARU != 7 || got.Arg1 != 1 || got.Arg2 != 2 {
+		t.Fatalf("span round-trip mismatch: %+v", got)
+	}
+	if tr.SpansDropped() != 0 {
+		t.Fatalf("SpansDropped = %d before any wraparound", tr.SpansDropped())
+	}
+}
+
+func TestSpanRingDisabled(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: -1})
+	if tr.SpanEnabled() {
+		t.Fatal("SpanEnabled = true with spans disabled")
+	}
+	tr.EmitSpan(Span{Trace: 1, ID: 2, Kind: SpanClientRPC}) // must not panic
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("Spans() = %v on a disabled ring", got)
+	}
+	if tr.NextID() == 0 {
+		t.Fatal("NextID = 0 on a span-disabled tracer (ids must still flow for wire propagation)")
+	}
+	var nilT *Tracer
+	nilT.EmitSpan(Span{})
+	if nilT.NextID() != 0 || nilT.SpanEnabled() || nilT.Spans() != nil || nilT.SpansDropped() != 0 {
+		t.Fatal("nil tracer span methods are not inert")
+	}
+}
+
+// TestRingWraparoundDroppedCount is the regression test for the
+// dropped-event accounting (satellite: trace loss must be visible).
+// Overrunning the ring must (a) report exactly ticket−capacity drops,
+// (b) keep the snapshot ordered by Seq with the *newest* events
+// surviving, for both the event ring and the span ring.
+func TestRingWraparoundDroppedCount(t *testing.T) {
+	const capacity = 16 // newRing minimum
+	tr := New(Config{RingSize: capacity, SpanRingSize: capacity})
+	const emitted = capacity*3 + 5
+	for i := 1; i <= emitted; i++ {
+		tr.Emit(EvWrite, uint64(i), 0, 0)
+		tr.EmitSpan(Span{Trace: 1, ID: uint64(i), Kind: SpanSegFlush})
+	}
+	wantDropped := uint64(emitted - capacity)
+	if got := tr.EventsDropped(); got != wantDropped {
+		t.Errorf("EventsDropped = %d, want %d", got, wantDropped)
+	}
+	if got := tr.SpansDropped(); got != wantDropped {
+		t.Errorf("SpansDropped = %d, want %d", got, wantDropped)
+	}
+
+	events := tr.Events()
+	if len(events) != capacity {
+		t.Fatalf("got %d events after wraparound, want %d", len(events), capacity)
+	}
+	for i, e := range events {
+		wantSeq := uint64(emitted - capacity + 1 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event[%d].Seq = %d, want %d (newest must survive, ordered)", i, e.Seq, wantSeq)
+		}
+		if e.ARU != wantSeq {
+			t.Fatalf("event[%d] payload %d does not match its ticket %d", i, e.ARU, wantSeq)
+		}
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("got %d spans after wraparound, want %d", len(spans), capacity)
+	}
+	for i, s := range spans {
+		wantSeq := uint64(emitted - capacity + 1 + i)
+		if s.Seq != wantSeq || s.ID != wantSeq {
+			t.Fatalf("span[%d] = seq %d id %d, want %d", i, s.Seq, s.ID, wantSeq)
+		}
+	}
+}
+
+// TestRingDroppedCounterOnMetrics pins the /metrics exposition of the
+// trace-loss counters.
+func TestRingDroppedCounterOnMetrics(t *testing.T) {
+	tr := New(Config{RingSize: 16, SpanRingSize: 16})
+	for i := 0; i < 20; i++ {
+		tr.Emit(EvWrite, 1, 2, 3)
+	}
+	body := serveOnce(t, Handler(HandlerOptions{Tracer: tr}))
+	for _, want := range []string{
+		"aru_trace_events_dropped_total 4",
+		"aru_trace_spans_dropped_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 256})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.EmitSpan(Span{Trace: uint64(g + 1), ID: tr.NextID(), Kind: SpanClientRPC, Start: time.Duration(i)})
+			}
+		}(g)
+	}
+	deadline := time.After(50 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			return
+		default:
+		}
+		spans := tr.Spans()
+		for i := 1; i < len(spans); i++ {
+			if spans[i-1].Seq >= spans[i].Seq {
+				t.Fatalf("snapshot out of order at %d: %d then %d", i, spans[i-1].Seq, spans[i].Seq)
+			}
+		}
+	}
+}
+
+func TestAllocsEmitSpan(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 1024})
+	op := func() {
+		tr.EmitSpan(Span{Trace: 1, ID: tr.NextID(), Parent: 2, Kind: SpanEngineCommit, Start: 5, Dur: 7, ARU: 3})
+	}
+	op()
+	alloctest.Check(t, "emit span", 0, 500, op)
+}
+
+// TestAllocsSpanDisabledPath gates the cost of tracing being OFF: a
+// span-disabled tracer (and a nil tracer) must emit for free.
+func TestAllocsSpanDisabledPath(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: -1})
+	var nilT *Tracer
+	op := func() {
+		tr.EmitSpan(Span{Trace: 1, ID: 2, Kind: SpanEngineCommit})
+		nilT.EmitSpan(Span{Trace: 1, ID: 2, Kind: SpanEngineCommit})
+	}
+	op()
+	alloctest.Check(t, "disabled span emit", 0, 500, op)
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 64})
+	trace := tr.NextID()
+	rpc, op, commit, batch, sync := tr.NextID(), tr.NextID(), tr.NextID(), tr.NextID(), tr.NextID()
+	tr.EmitSpan(Span{Trace: trace, ID: rpc, Kind: SpanClientRPC, Start: 0, Dur: 100})
+	tr.EmitSpan(Span{Trace: trace, ID: op, Parent: rpc, Kind: SpanServerOp, Start: 10, Dur: 80})
+	tr.EmitSpan(Span{Trace: trace, ID: commit, Parent: op, Kind: SpanEngineCommit, Start: 20, Dur: 30})
+	tr.EmitSpan(Span{Trace: trace, ID: batch, Kind: SpanCommitBatch, Start: 50, Dur: 40, Arg1: 1})
+	tr.EmitSpan(Span{Trace: trace, ID: sync, Parent: batch, Kind: SpanDeviceSync, Start: 60, Dur: 20, Arg1: 1})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta, flowS, flowF int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if complete != 5 {
+		t.Errorf("got %d complete events, want 5", complete)
+	}
+	if flowS != 3 || flowF != 3 {
+		t.Errorf("got %d/%d flow start/finish events, want 3/3 (rpc→op, op→commit, batch→sync)", flowS, flowF)
+	}
+	if meta == 0 {
+		t.Error("no thread_name metadata events")
+	}
+}
+
+func TestTraceHandlerEmptyTracer(t *testing.T) {
+	// /debug/trace must serve loadable JSON even with no tracer.
+	body := serveOnce(t, TraceHandler(nil))
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, body)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty tracer exported %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	tr := New(Config{RingSize: 64, SpanRingSize: 64})
+	tr.Emit(EvWrite, 1, 2, 3)
+	tr.EmitSpan(Span{Trace: 1, ID: 2, Kind: SpanCommitDurable, Arg1: 9, Arg2: 4})
+	tr.Observe(HistWrite, time.Millisecond)
+
+	fr := NewFlightRecorder(tr)
+	fr.Dir = t.TempDir()
+	path, err := fr.Dump("test")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if d.Reason != "test" || len(d.Spans) != 1 || len(d.Events) != 1 || len(d.Histograms) == 0 {
+		t.Fatalf("artifact incomplete: reason=%q spans=%d events=%d hists=%d",
+			d.Reason, len(d.Spans), len(d.Events), len(d.Histograms))
+	}
+	if d.Spans[0].Arg1 != 9 || d.Spans[0].Arg2 != 4 {
+		t.Fatalf("span args did not survive the dump: %+v", d.Spans[0])
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", fr.Dumps())
+	}
+}
+
+func TestFlightRecorderRateLimit(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 16})
+	fr := NewFlightRecorder(tr)
+	fr.Dir = t.TempDir()
+	fr.MinGap = time.Hour
+	if p, err := fr.TryDump("first"); err != nil || p == "" {
+		t.Fatalf("first TryDump suppressed: path=%q err=%v", p, err)
+	}
+	for i := 0; i < 5; i++ {
+		if p, err := fr.TryDump("burst"); err != nil || p != "" {
+			t.Fatalf("TryDump inside MinGap wrote %q (err=%v)", p, err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(fr.Dir, "aru-flight-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("rate limit leaked: %d artifacts", len(files))
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", fr.Dumps())
+	}
+}
+
+func TestFlightRecorderOnPanic(t *testing.T) {
+	tr := New(Config{RingSize: -1, SpanRingSize: 16})
+	tr.EmitSpan(Span{Trace: 1, ID: 1, Kind: SpanEngineCommit})
+	fr := NewFlightRecorder(tr)
+	fr.Dir = t.TempDir()
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("OnPanic swallowed the panic")
+			}
+		}()
+		defer fr.OnPanic()
+		panic(fmt.Errorf("boom"))
+	}()
+	files, _ := filepath.Glob(filepath.Join(fr.Dir, "aru-flight-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("panic left %d artifacts, want 1", len(files))
+	}
+	raw, _ := os.ReadFile(files[0])
+	if !strings.Contains(string(raw), "panic: boom") {
+		t.Fatalf("artifact does not name the panic:\n%s", raw)
+	}
+}
