@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit]
+//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit|shard]
 //	          [-scale N] [-verify] [-csv] [-json out.json]
 //	          [-metrics-addr :6060] [-trace-out trace.json]
 //	aru-bench -connect HOST:PORT [-net-ops N] [-trace-out trace.json]
@@ -19,6 +19,15 @@
 // sync costs -gc-syncdelay of wall time. -gc-min-speedup and
 // -gc-min-amort turn the run into a gate: aru-bench exits non-zero
 // unless the -gc-committers row meets both floors.
+//
+// -exp shard sweeps the sharded disk over shard counts up to -shards
+// with the same total committer population pinned round-robin, each
+// committer durably committing shard-local units with per-shard
+// flushes, and compares the single-shard fast path against the bare
+// engine. -shard-min-scale and -shard-max-overhead turn the run into a
+// gate. -workload skew swaps in the Zipf hot-key workload (keys route
+// to shards through their lists) and reports the per-shard ops/s
+// split; under -exp all both workloads run.
 //
 // -connect skips the simulated experiments and instead drives a remote
 // logical disk served by aru-serve with the mixed-ARU workload
@@ -41,10 +50,11 @@ import (
 	"aru"
 	"aru/internal/harness"
 	"aru/internal/obs"
+	"aru/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit, shard")
 	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
 	verify := flag.Bool("verify", false, "verify payloads during read phases")
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
@@ -55,6 +65,13 @@ func main() {
 	gcSyncDelay := flag.Duration("gc-syncdelay", 2*time.Millisecond, "groupcommit: simulated device sync latency")
 	gcMinSpeedup := flag.Float64("gc-min-speedup", 0, "groupcommit: fail unless speedup over serial sync reaches this (0 = report only)")
 	gcMinAmort := flag.Float64("gc-min-amort", 0, "groupcommit: fail unless sync amortization reaches this (0 = report only)")
+	shards := flag.Int("shards", 4, "shard: largest shard count of the scaling sweep")
+	shardCommitters := flag.Int("shard-committers", 16, "shard: total concurrent committers, pinned round-robin to shards")
+	shardCommits := flag.Int("shard-commits", 24, "shard: durable commits per committer")
+	shardSyncDelay := flag.Duration("shard-syncdelay", 2*time.Millisecond, "shard: simulated device sync latency")
+	shardMinScale := flag.Float64("shard-min-scale", 0, "shard: fail unless aggregate throughput at -shards over 1 shard reaches this (0 = report only)")
+	shardMaxOverhead := flag.Float64("shard-max-overhead", 0, "shard: fail if the single-shard fast path is slower than the bare engine by more than this fraction (0 = report only)")
+	workloadName := flag.String("workload", "uniform", "shard: committer workload — uniform (pinned shard-local units) or skew (Zipf hot keys)")
 	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
 	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
 	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace JSON to this file")
@@ -162,6 +179,64 @@ func main() {
 		if *gcMinAmort > 0 && gated.Amortization() < *gcMinAmort {
 			return fmt.Errorf("sync amortization %.2fx with %d committers, below the floor of %.2fx",
 				gated.Amortization(), gated.Committers, *gcMinAmort)
+		}
+		return nil
+	})
+
+	run("shard", func() error {
+		commits := *shardCommits / *scale
+		if commits < 4 {
+			commits = 4
+		}
+		counts := []int{}
+		for _, n := range []int{1, 2, 4} {
+			if n < *shards {
+				counts = append(counts, n)
+			}
+		}
+		counts = append(counts, *shards)
+		uniform := *workloadName != "skew" || *exp == "all"
+		skew := *workloadName == "skew" || *exp == "all"
+		var res []harness.ShardScaleResult
+		var fp harness.ShardFastPathResult
+		if uniform {
+			var err error
+			res, err = harness.RunShardScaleSweep(counts, *shardCommitters, commits, *shardSyncDelay)
+			if err != nil {
+				return err
+			}
+			fp, err = harness.RunShardFastPath(*shardCommitters, commits, *shardSyncDelay)
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatShardScale(res, fp))
+			report.AddShardScale(res, fp)
+		}
+		if skew {
+			z := workload.DefaultSkew().Scale(*scale)
+			for _, placement := range []harness.SkewPlacement{harness.PlaceRR, harness.PlaceRange} {
+				sk, err := harness.RunShardSkew(*shards, *shardCommitters, z, placement, *shardSyncDelay)
+				if err != nil {
+					return err
+				}
+				fmt.Println(harness.FormatShardSkew(sk))
+				report.AddShardSkew(sk)
+			}
+		}
+		if uniform {
+			gated := res[len(res)-1]
+			speedup := 0.0
+			if base := res[0].SerialPerSec(); base > 0 {
+				speedup = gated.SerialPerSec() / base
+			}
+			if *shardMinScale > 0 && speedup < *shardMinScale {
+				return fmt.Errorf("serial-path aggregate throughput scaled %.2fx at %d shards, below the floor of %.2fx",
+					speedup, gated.Shards, *shardMinScale)
+			}
+			if *shardMaxOverhead > 0 && fp.Overhead() > *shardMaxOverhead {
+				return fmt.Errorf("single-shard fast path %.1f%% slower than the bare engine, above the ceiling of %.1f%%",
+					fp.Overhead()*100, *shardMaxOverhead*100)
+			}
 		}
 		return nil
 	})

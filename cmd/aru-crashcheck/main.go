@@ -5,12 +5,19 @@
 // replayable artifact for each violation — or if fewer distinct
 // states than -min-states were explored.
 //
+// With -shards N (or -workloads shard) it runs the sharded cross-shard
+// 2PC workload instead: N shard engines plus a coordinator log on one
+// global clock, crashed together at every interesting instant, with
+// the oracle checking cross-shard all-or-nothing atomicity through
+// full multi-shard recovery.
+//
 // Usage:
 //
 //	aru-crashcheck [-seed N] [-seeds N] [-states N] [-reorder-window N]
-//	               [-workloads mixed,fs] [-fs] [-min-states N] [-conc N]
-//	               [-inject none|nosync|untagged-replay|ack-early]
-//	               [-replay E<e>K<k>[D...][T...]] [-v]
+//	               [-workloads mixed,fs,shard] [-fs] [-shards N]
+//	               [-min-states N] [-conc N]
+//	               [-inject none|nosync|untagged-replay|ack-early|commit-before-prepare-sync]
+//	               [-replay E<e>K<k>[D...][T...] | -replay G<g>/E..K../...] [-v]
 package main
 
 import (
@@ -28,11 +35,12 @@ func main() {
 		seeds     = flag.Int("seeds", 24, "number of consecutive seeds to run")
 		states    = flag.Int("states", 0, "max distinct crash states to explore (0 = unlimited)")
 		window    = flag.Int("reorder-window", 3, "reordering window within the crash epoch")
-		workloads = flag.String("workloads", "mixed,fs", "comma-separated workloads: mixed, fs")
+		workloads = flag.String("workloads", "mixed,fs", "comma-separated workloads: mixed, fs, shard")
 		fsOnly    = flag.Bool("fs", false, "shorthand for -workloads fs")
+		shards    = flag.Int("shards", 0, "shard count for the sharded 2PC workload; >0 implies -workloads shard")
 		minStates = flag.Int("min-states", 0, "fail unless at least this many distinct states were explored")
 		conc      = flag.Int("conc", 0, "mixed-workload concurrent committers per group-commit phase (0 = sequential scripts)")
-		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay, ack-early")
+		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay, ack-early, commit-before-prepare-sync (shard workload)")
 		replay    = flag.String("replay", "", "replay one crash state descriptor (requires a single workload and seed)")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
@@ -44,10 +52,14 @@ func main() {
 		MaxStates:     *states,
 		ReorderWindow: *window,
 		Inject:        *inject,
+		Shards:        *shards,
 	}
 	o.MixedParams.ConcFlushers = *conc
 	if *fsOnly {
 		*workloads = "fs"
+	}
+	if *shards > 0 {
+		*workloads = "shard"
 	}
 	for _, w := range strings.Split(*workloads, ",") {
 		switch strings.TrimSpace(w) {
@@ -55,6 +67,8 @@ func main() {
 			o.Mixed = true
 		case "fs":
 			o.FS = true
+		case "shard":
+			o.Shard = true
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "aru-crashcheck: unknown workload %q\n", w)
@@ -68,6 +82,27 @@ func main() {
 	}
 
 	if *replay != "" {
+		if o.Shard {
+			ms, err := crashenum.ParseMultiState(*replay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
+				os.Exit(2)
+			}
+			viols, err := crashenum.ReplayShard(*seed, o, ms)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
+				os.Exit(2)
+			}
+			if len(viols) == 0 {
+				fmt.Printf("replay shard seed=%d %s: clean\n", *seed, ms)
+				return
+			}
+			fmt.Printf("replay shard seed=%d %s: %d violations\n", *seed, ms, len(viols))
+			for _, v := range viols {
+				fmt.Println("  ", v)
+			}
+			os.Exit(1)
+		}
 		cs, err := crashenum.ParseState(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
@@ -101,7 +136,11 @@ func main() {
 	fmt.Printf("explored %d distinct crash states across %d runs: %d violations\n",
 		rpt.States, rpt.Runs, len(rpt.Violations))
 	for _, v := range rpt.Violations {
-		fmt.Printf("VIOLATION %s seed=%d state=%s shrunk=%s\n", v.Workload, v.Seed, v.State, v.Shrunk)
+		if v.MultiState != "" {
+			fmt.Printf("VIOLATION %s seed=%d state=%s shrunk=%s\n", v.Workload, v.Seed, v.MultiState, v.MultiShrunk)
+		} else {
+			fmt.Printf("VIOLATION %s seed=%d state=%s shrunk=%s\n", v.Workload, v.Seed, v.State, v.Shrunk)
+		}
 		for _, d := range v.Desc {
 			fmt.Println("  ", d)
 		}

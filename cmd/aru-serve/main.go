@@ -9,12 +9,23 @@
 // Usage:
 //
 //	aru-serve [-listen :9477] [-metrics-addr :6060] [-segs N] [-mem]
-//	          [-slow-ms N] [-trace-out trace.json] image.lld
+//	          [-shards N] [-slow-ms N] [-trace-out trace.json] image.lld
 //
 // If image.lld exists it is opened with full crash recovery (the
 // recovery report is printed); otherwise it is created and formatted
 // with -segs log segments. -mem serves a volatile in-memory disk
-// instead (no image path needed). -metrics-addr serves /metrics with
+// instead (no image path needed).
+//
+// -shards N serves an N-way sharded disk: the image argument names a
+// directory holding one engine image per shard (shard0.lld …) plus
+// the coordinator log (coord.lld). A fresh directory is created and
+// formatted; an existing one is opened with full multi-shard recovery
+// (per-shard reports are printed, and in-doubt cross-shard prepares
+// are resolved against the coordinator log). When opening, the shard
+// count is taken from the directory. Clients see one logical disk;
+// ARUs spanning shards commit with 2PC and are durable at EndARU.
+//
+// -metrics-addr serves /metrics with
 // the disk's counters and latency histograms plus the network layer's
 // per-RPC histograms and session/abort counters, /debug/vars,
 // /debug/pprof and /debug/trace (the span timeline as Chrome trace
@@ -40,6 +51,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -62,11 +74,108 @@ func (s *slowLogWriter) Write(p []byte) (int, error) {
 	return s.w.Write(p)
 }
 
+// shardCoordRecords sizes a fresh coordinator log: commit records
+// outstanding between checkpoints (Checkpoint reclaims the log).
+const shardCoordRecords = 4096
+
+// openSharded builds the sharded backend: N in-memory engines under
+// -mem, otherwise a directory of engine images (shard0.lld …) plus
+// the coordinator log (coord.lld), created fresh or opened with full
+// multi-shard recovery. When opening, the shard count stored in the
+// directory wins over -shards.
+func openSharded(fail func(string, ...any), params aru.Params, segs, shards int, mem bool) *aru.ShardedDisk {
+	opts := aru.ShardOptions{Params: params}
+	layout := aru.DefaultLayout(segs)
+	opts.Params.Layout = layout
+
+	if mem {
+		devs := make([]aru.Device, shards)
+		for i := range devs {
+			devs[i] = aru.NewMemDevice(layout.DiskBytes())
+		}
+		coord := aru.NewMemDevice(aru.ShardCoordBytes(shardCoordRecords))
+		d, err := aru.FormatSharded(devs, coord, opts)
+		if err != nil {
+			fail("format in-memory sharded disk: %v", err)
+		}
+		fmt.Printf("aru-serve: serving in-memory sharded disk (%d shards, %d segments each, %d B blocks)\n",
+			shards, segs, d.BlockSize())
+		return d
+	}
+
+	if flag.NArg() != 1 {
+		fail("usage: aru-serve -shards N [flags] imagedir")
+	}
+	dir := flag.Arg(0)
+	shardPath := func(i int) string { return filepath.Join(dir, fmt.Sprintf("shard%d.lld", i)) }
+	coordPath := filepath.Join(dir, "coord.lld")
+
+	if _, err := os.Stat(shardPath(0)); err == nil {
+		// Existing directory: the images on disk define the shard count.
+		n := 0
+		for {
+			if _, err := os.Stat(shardPath(n)); err != nil {
+				break
+			}
+			n++
+		}
+		if n != shards {
+			fmt.Printf("aru-serve: %s holds %d shard images; overriding -shards %d\n", dir, n, shards)
+		}
+		devs := make([]aru.Device, n)
+		for i := range devs {
+			dev, err := aru.OpenFileDevice(shardPath(i))
+			if err != nil {
+				fail("open %s: %v", shardPath(i), err)
+			}
+			devs[i] = dev
+		}
+		coord, err := aru.OpenFileDevice(coordPath)
+		if err != nil {
+			fail("open %s: %v", coordPath, err)
+		}
+		d, reps, err := aru.OpenShardedReport(devs, coord, opts)
+		if err != nil {
+			fail("recover %s: %v", dir, err)
+		}
+		for i, rep := range reps {
+			fmt.Printf("aru-serve: recovered shard %d: %d entries replayed, %d ARUs recovered, %d dropped, %d in-doubt (%d committed, %d aborted), %d leaked blocks freed\n",
+				i, rep.EntriesReplayed, rep.ARUsRecovered, rep.ARUsDropped,
+				rep.InDoubt, rep.InDoubtCommitted, rep.InDoubtAborted, rep.LeakedFreed)
+		}
+		return d
+	}
+
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		fail("create %s: %v", dir, err)
+	}
+	devs := make([]aru.Device, shards)
+	for i := range devs {
+		dev, err := aru.CreateFileDevice(shardPath(i), layout.DiskBytes())
+		if err != nil {
+			fail("create %s: %v", shardPath(i), err)
+		}
+		devs[i] = dev
+	}
+	coord, err := aru.CreateFileDevice(coordPath, aru.ShardCoordBytes(shardCoordRecords))
+	if err != nil {
+		fail("create %s: %v", coordPath, err)
+	}
+	d, err := aru.FormatSharded(devs, coord, opts)
+	if err != nil {
+		fail("format %s: %v", dir, err)
+	}
+	fmt.Printf("aru-serve: created %s (%d shards, %d segments each, %d B blocks)\n",
+		dir, shards, segs, d.BlockSize())
+	return d
+}
+
 func main() {
 	listen := flag.String("listen", ":9477", "address to serve the LD protocol on")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/trace on this address")
 	segs := flag.Int("segs", 128, "log segments when creating a fresh image (0.5 MB each)")
 	mem := flag.Bool("mem", false, "serve a volatile in-memory disk instead of an image file")
+	shards := flag.Int("shards", 1, "serve an N-way sharded disk (image argument is a directory)")
 	quiet := flag.Bool("quiet", false, "suppress per-connection log lines")
 	slowMs := flag.Int("slow-ms", 0, "log RPCs slower than this many milliseconds as JSON lines (0 = off)")
 	traceOut := flag.String("trace-out", "", "write the span timeline as Chrome trace JSON to this file on shutdown")
@@ -85,20 +194,28 @@ func main() {
 	flight := aru.NewFlightRecorder(tracer)
 	defer flight.OnPanic()
 
-	var d *aru.Disk
+	// The served disk: a single engine or an N-way sharded one — the
+	// network server takes either through the same Backend surface.
+	var d interface {
+		aru.NetBackend
+		Close() error
+	}
 	switch {
+	case *shards > 1:
+		d = openSharded(fail, params, *segs, *shards, *mem)
 	case *mem:
 		layout := aru.DefaultLayout(*segs)
 		dev := aru.NewMemDevice(layout.DiskBytes())
 		params.Layout = layout
-		var err error
-		if d, err = aru.Format(dev, params); err != nil {
+		ld, err := aru.Format(dev, params)
+		if err != nil {
 			fail("format in-memory disk: %v", err)
 		}
+		d = ld
 		fmt.Printf("aru-serve: serving in-memory disk (%d segments, %d B blocks)\n",
 			*segs, d.BlockSize())
 	case flag.NArg() != 1:
-		fail("usage: aru-serve [-listen ADDR] [-metrics-addr ADDR] [-segs N] [-mem] image.lld")
+		fail("usage: aru-serve [-listen ADDR] [-metrics-addr ADDR] [-segs N] [-mem] [-shards N] image.lld")
 	default:
 		path := flag.Arg(0)
 		if _, err := os.Stat(path); err == nil {
@@ -106,10 +223,11 @@ func main() {
 			if err != nil {
 				fail("open %s: %v", path, err)
 			}
-			var rep aru.RecoveryReport
-			if d, rep, err = aru.OpenReport(dev, params); err != nil {
+			ld, rep, err := aru.OpenReport(dev, params)
+			if err != nil {
 				fail("recover %s: %v", path, err)
 			}
+			d = ld
 			fmt.Printf("aru-serve: recovered %s: %d entries replayed, %d ARUs recovered, %d dropped, %d leaked blocks freed\n",
 				path, rep.EntriesReplayed, rep.ARUsRecovered, rep.ARUsDropped, rep.LeakedFreed)
 		} else {
@@ -119,9 +237,11 @@ func main() {
 				fail("create %s: %v", path, err)
 			}
 			params.Layout = layout
-			if d, err = aru.Format(dev, params); err != nil {
+			ld, err := aru.Format(dev, params)
+			if err != nil {
 				fail("format %s: %v", path, err)
 			}
+			d = ld
 			fmt.Printf("aru-serve: created %s (%d segments, %d B blocks)\n",
 				path, *segs, d.BlockSize())
 		}

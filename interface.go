@@ -116,8 +116,13 @@ func Dial(addr string, cfg DialConfig) (*NetClient, error) {
 	return ldnet.Dial(addr, cfg)
 }
 
-// NewNetServer wraps a local Disk in an unstarted network server;
-// call its Serve method with a net.Listener to accept clients.
-func NewNetServer(d *Disk, opts NetServerOptions) *NetServer {
+// NetBackend is what a network server serves: the LD surface as seen
+// by aru/internal/ldnet. Both *Disk and *ShardedDisk implement it.
+type NetBackend = ldnet.Backend
+
+// NewNetServer wraps a local disk — single-engine or sharded — in an
+// unstarted network server; call its Serve method with a net.Listener
+// to accept clients.
+func NewNetServer(d NetBackend, opts NetServerOptions) *NetServer {
 	return ldnet.NewServer(d, opts)
 }

@@ -26,6 +26,8 @@ type mode struct {
 	st      *aruState // non-nil: shadow-state execution for this ARU
 	tag     ARUID     // ARU tag on emitted summary entries
 	tracked *aruState // non-nil: gate touched committed records until commit
+	silent  bool      // suppress summary entries (2PC commit replay: the
+	// entries were already logged, tagged, at prepare time)
 }
 
 // modeFor resolves the execution mode of an operation issued under aru
@@ -37,6 +39,9 @@ func (d *LLD) modeFor(aru ARUID) (mode, error) {
 	st, ok := d.arus[aru]
 	if !ok {
 		return mode{}, fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
+	}
+	if st.prepared {
+		return mode{}, fmt.Errorf("%w: %d", ErrARUPrepared, aru)
 	}
 	if d.params.Variant == VariantOld {
 		return mode{view: seg.SimpleARU, tag: aru, tracked: st}, nil
@@ -125,6 +130,9 @@ func (d *LLD) EndARUTraced(aru ARUID, sc obs.SpanContext) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchARU, aru)
 	}
+	if st.prepared {
+		return fmt.Errorf("%w: %d (use CommitPrepared or AbortARU)", ErrARUPrepared, aru)
+	}
 	var (
 		t0     time.Duration
 		spanID uint64
@@ -143,7 +151,7 @@ func (d *LLD) EndARUTraced(aru ARUID, sc obs.SpanContext) error {
 	if d.params.Variant == VariantOld {
 		err = d.endARUOld(aru, st, sc.Trace, spanID)
 	} else {
-		err = d.endARUNew(aru, st, sc.Trace, spanID)
+		err = d.endARUNew(aru, st, sc.Trace, spanID, false)
 	}
 	if spanID != 0 && err == nil {
 		d.obs.EmitSpan(obs.Span{
@@ -183,8 +191,15 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState, trace, span uint64) error {
 // segment write in the middle of the merge can never promote a partial
 // commit. trace/span carry the engine-commit span for the durable ack
 // (zero when untraced).
-func (d *LLD) endARUNew(aru ARUID, st *aruState, trace, span uint64) error {
-	gate := mode{view: seg.SimpleARU, tag: aru, tracked: st}
+//
+// With silent set the merge runs without emitting summary entries: the
+// ARU was prepared (PrepareARU already materialized its data and logged
+// its list operations, tagged with the ARU), so the only new log record
+// is the commit record itself — recovery replays the prepare-time
+// entries at the commit record's timestamp, exactly mirroring what the
+// silent replay does live.
+func (d *LLD) endARUNew(aru ARUID, st *aruState, trace, span uint64, silent bool) error {
+	gate := mode{view: seg.SimpleARU, tag: aru, tracked: st, silent: silent}
 	if d.params.UnsafeUntaggedReplay {
 		// Fault injection for the crash checker: drop the ARU tag so
 		// recovery replays these entries without waiting for the
@@ -332,6 +347,9 @@ func (d *LLD) discardShadow(st *aruState) {
 		al = next
 	}
 	st.shadowLists = nil
+	for i := range st.linkLog {
+		st.linkLog[i].members = nil // don't retain snapshots past truncation
+	}
 	st.linkLog = st.linkLog[:0]
 }
 

@@ -153,6 +153,16 @@ type Params struct {
 	// own spans into the same Tracer.
 	Tracer *obs.Tracer
 
+	// CommitResolver decides the fate of in-doubt prepared ARUs found
+	// during recovery (units whose KindPrepare record is durable but
+	// whose commit/abort record is not): recovery calls it with the
+	// prepare's coordinator transaction id and redoes the unit when it
+	// returns true, erases it otherwise (presumed abort). nil presumes
+	// abort for every in-doubt unit — correct for an unsharded engine,
+	// which never prepares. internal/shard passes a resolver backed by
+	// its coordinator log.
+	CommitResolver func(txn uint64) bool
+
 	// UnsafeNoSyncOnFlush makes Flush skip the device sync while
 	// still reporting commits as durable. It exists solely so the
 	// crash-state checker (internal/crashenum) can prove it detects
@@ -218,6 +228,14 @@ var (
 	// ErrAbortUnsupported reports AbortARU on the sequential variant,
 	// which applies operations in place and cannot roll back.
 	ErrAbortUnsupported = errors.New("lld: AbortARU is not supported by the sequential variant")
+	// ErrARUPrepared reports an operation on an ARU frozen by
+	// PrepareARU: a prepared unit accepts only CommitPrepared or
+	// AbortARU (two-phase commit, internal/shard).
+	ErrARUPrepared = errors.New("lld: ARU is prepared")
+	// ErrPrepareUnsupported reports PrepareARU on the sequential
+	// variant, which cannot freeze a unit (its operations already ran
+	// in the committed state).
+	ErrPrepareUnsupported = errors.New("lld: PrepareARU is not supported by the sequential variant")
 	// ErrClosed reports use after Close.
 	ErrClosed = errors.New("lld: closed")
 	// ErrBadParam reports invalid arguments.
@@ -232,6 +250,7 @@ type Stats struct {
 	NewLists, DeleteLists      int64
 	ARUsBegun, ARUsCommitted   int64
 	ARUsAborted                int64
+	ARUsPrepared               int64 // PrepareARU calls (2PC participants)
 	SegmentsWritten            int64 // segments written to disk
 	SegmentsCleaned            int64 // segments reclaimed by the cleaner
 	BlocksRelocated            int64 // live blocks copied by the cleaner

@@ -37,9 +37,12 @@ func (d *LLD) ensureRoom(extraBlocks, extraEntries int) error {
 		d.curSeg = next
 		d.freeCache = d.reusableCount()
 	}
+	// pendingCommits holds commit and (larger) prepare records; size
+	// for the larger kind so a queued prepare can never overflow the
+	// seal.
 	entryBytes := extraEntries*seg.MaxEntrySize +
 		d.commBufBlocks*seg.EncodedSize(seg.KindWrite) +
-		len(d.pendingCommits)*seg.EncodedSize(seg.KindCommit)
+		len(d.pendingCommits)*seg.EncodedSize(seg.KindPrepare)
 	if d.builder.FitsBytes(extraBlocks+d.commBufBlocks, entryBytes) {
 		return nil
 	}

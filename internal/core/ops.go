@@ -289,9 +289,30 @@ func (d *LLD) DeleteList(aru ARUID, lst ListID) error {
 		return fmt.Errorf("%w: %d", ErrNoSuchList, lst)
 	}
 	if m.st != nil {
-		m.st.linkLog = append(m.st.linkLog, listOp{kind: opDeleteList, list: lst})
+		m.st.linkLog = append(m.st.linkLog,
+			listOp{kind: opDeleteList, list: lst, members: d.membersIn(m.viewID(), lst)})
 	}
 	return d.deleteListIn(m, lst, true)
+}
+
+// membersIn returns the members of lst, in order, as seen from view.
+// The snapshot backs the prepare-time pre-log of an in-ARU DeleteList
+// (see listOp.members). Caller holds d.mu.
+func (d *LLD) membersIn(view ARUID, lst ListID) []BlockID {
+	lrec, ok := d.viewList(lst, view)
+	if !ok {
+		return nil
+	}
+	var out []BlockID
+	for cur := lrec.First; cur != NilBlock; {
+		out = append(out, cur)
+		rec, ok := d.viewBlock(cur, view)
+		if !ok {
+			break
+		}
+		cur = rec.Succ
+	}
+	return out
 }
 
 // insertIn inserts block id into list lst after pred within the mode's
@@ -327,7 +348,7 @@ func (d *LLD) insertIn(m mode, lst ListID, id BlockID, pred BlockID, strict bool
 		}
 	}
 	ts := d.tick()
-	if m.st == nil {
+	if m.st == nil && !m.silent {
 		// The effective predecessor is logged, so recovery replays the
 		// exact same insertion even when a fallback was taken.
 		err := d.appendEntry(seg.Entry{Kind: seg.KindLink, ARU: m.tag, TS: ts, Block: id, List: lst, Pred: effPred})
@@ -393,7 +414,7 @@ func (d *LLD) unlinkIn(m mode, lst ListID, b BlockID) error {
 	}
 	brec, _ := d.viewBlock(b, m.view)
 	ts := d.tick()
-	if m.st == nil {
+	if m.st == nil && !m.silent {
 		err := d.appendEntry(seg.Entry{Kind: seg.KindUnlink, ARU: m.tag, TS: ts, Block: b, List: lst, Pred: pred})
 		if err != nil {
 			return err
@@ -446,7 +467,7 @@ func (d *LLD) deleteBlockIn(m mode, b BlockID, strict bool) error {
 		}
 	}
 	ts := d.tick()
-	if m.st == nil {
+	if m.st == nil && !m.silent {
 		err := d.appendEntry(seg.Entry{Kind: seg.KindDeleteBlock, ARU: m.tag, TS: ts, Block: b})
 		if err != nil {
 			return err
@@ -483,7 +504,7 @@ func (d *LLD) deleteListIn(m mode, lst ListID, strict bool) error {
 			return fmt.Errorf("lld: list %d chain broken at head block %d", lst, b)
 		}
 		ts := d.tick()
-		if m.st == nil {
+		if m.st == nil && !m.silent {
 			err := d.appendEntry(seg.Entry{Kind: seg.KindDeleteBlock, ARU: m.tag, TS: ts, Block: b})
 			if err != nil {
 				return err
@@ -507,7 +528,7 @@ func (d *LLD) deleteListIn(m mode, lst ListID, strict bool) error {
 		d.stats.DeleteBlocks.Add(1)
 	}
 	ts := d.tick()
-	if m.st == nil {
+	if m.st == nil && !m.silent {
 		err := d.appendEntry(seg.Entry{Kind: seg.KindDeleteList, ARU: m.tag, TS: ts, List: lst})
 		if err != nil {
 			return err

@@ -138,6 +138,7 @@ func (d *LLD) putState(st *aruState) {
 	}
 	st.id = 0
 	st.shadowBlocks, st.shadowLists = nil, nil
+	st.prepared, st.prepTxn = false, 0
 	d.freeStates = append(d.freeStates, st)
 }
 

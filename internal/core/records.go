@@ -116,6 +116,12 @@ type listOp struct {
 	list  ListID
 	block BlockID
 	pred  BlockID
+	// members snapshots the list's membership (in order) at the moment
+	// an in-ARU DeleteList was issued. PrepareARU pre-logs the deletion
+	// as per-member delete-block records, and the membership a prepared
+	// unit deletes must be the one its client observed — not whatever
+	// the committed list holds when the coordinator finally commits.
+	members []BlockID
 }
 
 // aruState is the in-memory state of one open ARU: the heads of its
@@ -133,6 +139,13 @@ type aruState struct {
 	// this ARU, whose promotion is gated until EndARU.
 	touched      []*altBlock
 	touchedLists []*altList
+
+	// Two-phase commit (cross-shard ARUs, internal/shard): a prepared
+	// unit is frozen — its data is materialized and its operations are
+	// pre-logged under coordinator transaction prepTxn — until
+	// CommitPrepared or AbortARU decides its fate.
+	prepared bool
+	prepTxn  uint64
 }
 
 // findAlt returns the alternative block record owned by state aru on

@@ -64,6 +64,14 @@ type RecoveryReport struct {
 	ARUsRecovered    int // ARUs whose commit record was durable
 	ARUsDropped      int // uncommitted/aborted ARUs discarded
 	LeakedFreed      int // blocks freed by the consistency sweep
+
+	// Two-phase commit resolution (cross-shard ARUs, internal/shard).
+	// An in-doubt unit has a durable prepare record but no durable
+	// commit or abort record; Params.CommitResolver decides its fate.
+	InDoubt          int    // prepared units with no commit/abort record
+	InDoubtCommitted int    // in-doubt units the resolver redid
+	InDoubtAborted   int    // in-doubt units erased (presumed abort)
+	MaxPrepareTxn    uint64 // highest coordinator txn id seen in any prepare record
 }
 
 // Open mounts an LLD-formatted device, running crash recovery: it loads
@@ -213,6 +221,7 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 			maxSeq = ls.tr.Seq
 		}
 	}
+	rt.resolveInDoubt(p.CommitResolver, &rpt)
 	rpt.SegmentsReplayed = len(replay)
 	rpt.ARUsRecovered = rt.committed
 	rpt.ARUsDropped = len(rt.pending)
@@ -338,6 +347,7 @@ type recoveryTables struct {
 	lists  map[ListID]*seg.ListRec
 
 	pending   map[ARUID][]pendingOp
+	prepared  map[ARUID]prepRec // prepare record seen, fate undecided
 	committed int
 	maxTS     uint64
 	maxARU    ARUID
@@ -349,11 +359,20 @@ type pendingOp struct {
 	seg uint32
 }
 
+// prepRec is one durable prepare record awaiting resolution: the
+// coordinator transaction it belongs to and the prepare timestamp the
+// unit's operations apply at if the coordinator committed.
+type prepRec struct {
+	txn uint64
+	ts  uint64
+}
+
 func newRecoveryTables(ck seg.Checkpoint) *recoveryTables {
 	rt := &recoveryTables{
-		blocks:  make(map[BlockID]*seg.BlockRec, len(ck.Blocks)),
-		lists:   make(map[ListID]*seg.ListRec, len(ck.Lists)),
-		pending: make(map[ARUID][]pendingOp),
+		blocks:   make(map[BlockID]*seg.BlockRec, len(ck.Blocks)),
+		lists:    make(map[ListID]*seg.ListRec, len(ck.Lists)),
+		pending:  make(map[ARUID][]pendingOp),
+		prepared: make(map[ARUID]prepRec),
 	}
 	for i := range ck.Blocks {
 		r := ck.Blocks[i]
@@ -381,18 +400,68 @@ func (rt *recoveryTables) apply(e seg.Entry, segIdx uint32) {
 	case seg.KindCommit:
 		ops := rt.pending[e.ARU]
 		delete(rt.pending, e.ARU)
+		delete(rt.prepared, e.ARU)
 		for _, op := range ops {
 			rt.applyNow(op.e, op.seg, e.TS)
 		}
 		rt.committed++
 	case seg.KindAbort:
 		delete(rt.pending, e.ARU)
+		delete(rt.prepared, e.ARU)
+	case seg.KindPrepare:
+		// The unit is complete and durable but its fate belongs to the
+		// coordinator transaction; keep the buffered operations and
+		// resolve at end of scan (resolveInDoubt).
+		rt.prepared[e.ARU] = prepRec{txn: e.Txn, ts: e.TS}
 	default:
 		if e.ARU != seg.SimpleARU {
 			rt.pending[e.ARU] = append(rt.pending[e.ARU], pendingOp{e: e, seg: segIdx})
 			return
 		}
 		rt.applyNow(e, segIdx, e.TS)
+	}
+}
+
+// resolveInDoubt decides the fate of every prepared unit whose commit
+// or abort record did not survive the crash, in prepare-timestamp
+// order. resolve (Params.CommitResolver, typically backed by the
+// shard coordinator log) returning true redoes the unit at its prepare
+// timestamp; false — or a nil resolver — presumes abort and leaves the
+// unit's buffered operations to be dropped with the other uncommitted
+// units, so an aborted cross-shard ARU stays as traceless as a local
+// one (§3.3).
+func (rt *recoveryTables) resolveInDoubt(resolve func(txn uint64) bool, rpt *RecoveryReport) {
+	if len(rt.prepared) == 0 {
+		return
+	}
+	type doubt struct {
+		aru ARUID
+		pr  prepRec
+	}
+	doubts := make([]doubt, 0, len(rt.prepared))
+	for a, pr := range rt.prepared {
+		doubts = append(doubts, doubt{aru: a, pr: pr})
+	}
+	sort.Slice(doubts, func(i, j int) bool { return doubts[i].pr.ts < doubts[j].pr.ts })
+	for _, dt := range doubts {
+		rpt.InDoubt++
+		if dt.pr.txn > rpt.MaxPrepareTxn {
+			rpt.MaxPrepareTxn = dt.pr.txn
+		}
+		if resolve != nil && resolve(dt.pr.txn) {
+			ops := rt.pending[dt.aru]
+			delete(rt.pending, dt.aru)
+			for _, op := range ops {
+				rt.applyNow(op.e, op.seg, dt.pr.ts)
+			}
+			rt.committed++
+			rpt.InDoubtCommitted++
+		} else {
+			// Presumed abort: the operations stay in rt.pending and are
+			// dropped wholesale (counted in ARUsDropped); allocations
+			// were unconditional and fall to the leak sweep.
+			rpt.InDoubtAborted++
+		}
 	}
 }
 

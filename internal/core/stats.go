@@ -20,6 +20,7 @@ type lldStats struct {
 	NewLists, DeleteLists      atomic.Int64
 	ARUsBegun, ARUsCommitted   atomic.Int64
 	ARUsAborted                atomic.Int64
+	ARUsPrepared               atomic.Int64
 	SegmentsWritten            atomic.Int64
 	SegmentsCleaned            atomic.Int64
 	BlocksRelocated            atomic.Int64
@@ -59,6 +60,7 @@ func (s *lldStats) snapshot() Stats {
 		ARUsBegun:              s.ARUsBegun.Load(),
 		ARUsCommitted:          s.ARUsCommitted.Load(),
 		ARUsAborted:            s.ARUsAborted.Load(),
+		ARUsPrepared:           s.ARUsPrepared.Load(),
 		SegmentsWritten:        s.SegmentsWritten.Load(),
 		SegmentsCleaned:        s.SegmentsCleaned.Load(),
 		BlocksRelocated:        s.BlocksRelocated.Load(),

@@ -1,0 +1,332 @@
+package crashenum
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Multi-device crash states. A sharded disk does I/O to several
+// devices (N shard logs plus the coordinator log); a single power
+// failure hits them all at one instant. The shared Clock gives every
+// write and sync across all devices one global tick, and a crash
+// instant G induces, per device, exactly the single-device crash
+// model: epochs whose sync ticked at or before G are sealed
+// (mandatory), and the ops of the first unsealed epoch that ticked
+// before G are the in-flight window — individually keepable,
+// reorderable within the window, or torn.
+//
+// The cross-device causality this preserves is the one the 2PC
+// protocol relies on: if the coordinator's commit-record sync ticked
+// at G, every participant flush that completed before it is sealed at
+// G on its own device. A model that enumerated per-device states
+// independently would fabricate unreachable combinations (coordinator
+// record durable, an earlier participant flush lost) and flag the
+// correct protocol; anchoring everything to one G makes exactly the
+// reachable cross-device states — and makes the deliberately broken
+// schedule (commit record synced before the participant flushes)
+// produce states where the decision is durable and a prepare is not.
+
+// MultiState is one multi-device crash state: the global crash instant
+// and the per-device state it induces (refined by the enumerator
+// within each device's in-flight window).
+type MultiState struct {
+	G   uint64
+	Dev []CrashState
+}
+
+// String renders the replayable descriptor "G<g>/<dev0>/<dev1>/...".
+func (ms MultiState) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "G%d", ms.G)
+	for _, cs := range ms.Dev {
+		b.WriteString("/")
+		b.WriteString(cs.String())
+	}
+	return b.String()
+}
+
+// ParseMultiState parses the String form back.
+func ParseMultiState(s string) (MultiState, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "G") {
+		return MultiState{}, fmt.Errorf("crashenum: bad multi-state descriptor %q", s)
+	}
+	g, err := strconv.ParseUint(parts[0][1:], 10, 64)
+	if err != nil {
+		return MultiState{}, fmt.Errorf("crashenum: bad multi-state descriptor %q", s)
+	}
+	ms := MultiState{G: g}
+	for _, p := range parts[1:] {
+		cs, err := ParseState(p)
+		if err != nil {
+			return MultiState{}, err
+		}
+		ms.Dev = append(ms.Dev, cs)
+	}
+	return ms, nil
+}
+
+// devAt computes device state at global instant G: the crash epoch
+// (first epoch whose sync has not ticked by G) and how many of that
+// epoch's ops had been issued by G.
+func devAt(journal []WriteOp, syncs []uint64, G uint64) (epoch, issued int) {
+	for _, sg := range syncs {
+		if sg <= G {
+			epoch++
+		}
+	}
+	for _, op := range journal {
+		if op.Epoch == epoch && op.GSeq <= G {
+			issued++
+		}
+	}
+	return epoch, issued
+}
+
+// MaterializeMultiState builds every device's crash image for ms, the
+// random-access companion of ForEachMultiState used by replay and
+// shrinking.
+func MaterializeMultiState(journals [][]WriteOp, sizes []int64, ms MultiState) [][]byte {
+	imgs := make([][]byte, len(journals))
+	for i := range journals {
+		imgs[i] = MaterializeState(journals[i], sizes[i], ms.Dev[i])
+	}
+	return imgs
+}
+
+// ForEachMultiState enumerates multi-device crash states of a journaled
+// execution and calls fn with each state and its materialized images
+// (one per device, reused across calls; fn must not retain them).
+// fn returns false to stop early.
+//
+// Crash instants are the global ticks around every device sync after
+// startG (the sync itself, and the instant just before it, when the
+// epoch's writes are in flight but the barrier has not completed) plus
+// the end of the execution. At each instant the enumeration yields:
+//
+//   - every floor/full combination across devices (floor = the device
+//     lost its whole in-flight window, full = all of it landed) — the
+//     2^ndev cross-device extremes;
+//   - for each focus device, its full single-device refinement (write
+//     prefixes, single reordering drops within the window, seeded torn
+//     tails) with the other devices held at floor and at full.
+//
+// Duplicate image sets (by content hash) are skipped.
+func ForEachMultiState(journals [][]WriteOp, syncsG [][]uint64, sizes []int64, startG uint64, window int, seed int64, fn func(ms MultiState, imgs [][]byte) bool) {
+	if window <= 0 {
+		window = 3
+	}
+	ndev := len(journals)
+	var instants []uint64
+	var maxG uint64
+	for i := 0; i < ndev; i++ {
+		for _, sg := range syncsG[i] {
+			if sg > startG {
+				instants = append(instants, sg)
+				if sg-1 > startG {
+					instants = append(instants, sg-1)
+				}
+			}
+			if sg > maxG {
+				maxG = sg
+			}
+		}
+		for _, op := range journals[i] {
+			if op.GSeq > maxG {
+				maxG = op.GSeq
+			}
+		}
+	}
+	if maxG > startG {
+		instants = append(instants, maxG)
+	}
+	sortUniq(&instants)
+
+	imgs := make([][]byte, ndev)
+	for i := range imgs {
+		imgs[i] = make([]byte, sizes[i])
+	}
+	epochOps := make([][]WriteOp, ndev)
+	rng := rand.New(rand.NewSource(seed ^ 0x7a31bd5c))
+	seen := make(map[[sha256.Size]byte]bool)
+
+	emit := func(ms MultiState) bool {
+		h := sha256.New()
+		for i := range journals {
+			img := MaterializeState(journals[i], sizes[i], ms.Dev[i])
+			copy(imgs[i], img)
+			h.Write(img)
+		}
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		if seen[sum] {
+			return true
+		}
+		seen[sum] = true
+		return fn(ms, imgs)
+	}
+
+	for _, G := range instants {
+		// Per-device floor/full states at this instant.
+		floor := make([]CrashState, ndev)
+		full := make([]CrashState, ndev)
+		for i := 0; i < ndev; i++ {
+			e, m := devAt(journals[i], syncsG[i], G)
+			floor[i] = CrashState{Epoch: e, Keep: 0, TearOp: -1}
+			full[i] = CrashState{Epoch: e, Keep: m, TearOp: -1}
+			epochOps[i] = nil
+			for _, op := range journals[i] {
+				if op.Epoch == e {
+					epochOps[i] = append(epochOps[i], op)
+				}
+			}
+		}
+		// Cross-device extremes: every floor/full subset.
+		for mask := 0; mask < 1<<ndev; mask++ {
+			ms := MultiState{G: G, Dev: make([]CrashState, ndev)}
+			for i := 0; i < ndev; i++ {
+				if mask&(1<<i) != 0 {
+					ms.Dev[i] = full[i]
+				} else {
+					ms.Dev[i] = floor[i]
+				}
+			}
+			if !emit(ms) {
+				return
+			}
+		}
+		// Focus-device refinement against both extremes of the rest.
+		for f := 0; f < ndev; f++ {
+			m := full[f].Keep
+			if m == 0 {
+				continue
+			}
+			for _, others := range [][]CrashState{floor, full} {
+				base := MultiState{G: G, Dev: make([]CrashState, ndev)}
+				copy(base.Dev, others)
+				try := func(cs CrashState) bool {
+					ms := MultiState{G: G, Dev: make([]CrashState, ndev)}
+					copy(ms.Dev, base.Dev)
+					ms.Dev[f] = cs
+					return emit(ms)
+				}
+				e := full[f].Epoch
+				for k := 0; k <= m; k++ {
+					if !try(CrashState{Epoch: e, Keep: k, TearOp: -1}) {
+						return
+					}
+					lo := k - window
+					if lo < 0 {
+						lo = 0
+					}
+					for d := lo; d < k-1; d++ {
+						if !try(CrashState{Epoch: e, Keep: k, Drop: []int{d}, TearOp: -1}) {
+							return
+						}
+					}
+					// Torn tails of the final in-flight write.
+					if k > 0 {
+						if secs := epochOps[f][k-1].Sectors(); secs > 1 {
+							const maxTears = 8
+							if secs-1 <= maxTears {
+								for t := 1; t < secs; t++ {
+									if !try(CrashState{Epoch: e, Keep: k, TearOp: k - 1, TearSectors: t}) {
+										return
+									}
+								}
+							} else {
+								for i := 0; i < maxTears; i++ {
+									t := 1 + rng.Intn(secs-1)
+									if !try(CrashState{Epoch: e, Keep: k, TearOp: k - 1, TearSectors: t}) {
+										return
+									}
+								}
+							}
+						}
+					}
+					// A torn write inside the reorder window while later
+					// in-flight writes completed.
+					if k > 1 {
+						d := lo + rng.Intn(k-1-lo)
+						if secs := epochOps[f][d].Sectors(); secs > 1 {
+							t := rng.Intn(secs - 1)
+							if !try(CrashState{Epoch: e, Keep: k, TearOp: d, TearSectors: t}) {
+								return
+							}
+						}
+					}
+				}
+				// Seeded multi-drop subsets: reordering lost several
+				// writes of the focus device's window at once.
+				if m > 2 {
+					for i := 0; i < 4; i++ {
+						k := 2 + rng.Intn(m-1)
+						lo := k - window
+						if lo < 0 {
+							lo = 0
+						}
+						var drop []int
+						for d := lo; d < k-1; d++ {
+							if rng.Intn(2) == 1 {
+								drop = append(drop, d)
+							}
+						}
+						if len(drop) < 2 {
+							continue
+						}
+						if !try(CrashState{Epoch: e, Keep: k, Drop: drop, TearOp: -1}) {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ShrinkMulti minimizes a failing multi-device state: each device's
+// component is shrunk with the single-device shrinker while the others
+// stay fixed, repeating until no device improves.
+func ShrinkMulti(ms MultiState, fails func(MultiState) bool) MultiState {
+	for {
+		improved := false
+		for i := range ms.Dev {
+			shrunk := Shrink(ms.Dev[i], func(cand CrashState) bool {
+				trial := MultiState{G: ms.G, Dev: append([]CrashState(nil), ms.Dev...)}
+				trial.Dev[i] = cand
+				return fails(trial)
+			})
+			// Shrink only ever moves downward and only returns failing
+			// states, so any change is an improvement.
+			if shrunk.String() != ms.Dev[i].String() {
+				ms.Dev[i] = shrunk
+				improved = true
+			}
+		}
+		if !improved {
+			return ms
+		}
+	}
+}
+
+// sortUniq sorts xs ascending and removes duplicates in place.
+func sortUniq(xs *[]uint64) {
+	s := *xs
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := s[:0]
+	var last uint64
+	for i, v := range s {
+		if i == 0 || v != last {
+			out = append(out, v)
+		}
+		last = v
+	}
+	*xs = out
+}

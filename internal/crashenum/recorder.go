@@ -15,15 +15,33 @@ package crashenum
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"aru/internal/disk"
 )
+
+// Clock is a global event sequence shared by the recorders of a
+// multi-device execution (a sharded disk plus its coordinator log).
+// Every write and every sync on any device draws one tick, giving a
+// single total order of I/O events across devices — the causal
+// skeleton the multi-device enumerator crashes at: a crash instant G
+// keeps, on each device, exactly the epochs whose sync ticked at or
+// before G, while later events have not happened anywhere.
+type Clock struct{ n atomic.Uint64 }
+
+// tick returns the next global sequence number.
+func (c *Clock) tick() uint64 { return c.n.Add(1) }
+
+// Now returns the current global sequence (the tick of the most recent
+// event; 0 before any).
+func (c *Clock) Now() uint64 { return c.n.Load() }
 
 // WriteOp is one journaled device write.
 type WriteOp struct {
 	Off   int64
 	Data  []byte // private copy of what was written
 	Epoch int    // sync epoch the write was issued in
+	GSeq  uint64 // global clock tick of the write
 }
 
 // Sectors returns the length of the write in whole sectors.
@@ -35,19 +53,27 @@ func (w WriteOp) Sectors() int { return len(w.Data) / disk.SectorSize }
 // lose writes only within the final epoch, because every earlier epoch
 // was sealed by a sync barrier.
 type Recorder struct {
-	dev *disk.Sim
+	dev   *disk.Sim
+	clock *Clock
 
-	mu    sync.Mutex
-	ops   []WriteOp
-	epoch int
+	mu     sync.Mutex
+	ops    []WriteOp
+	epoch  int
+	syncsG []uint64 // global clock tick of each completed Sync
 }
 
 var _ disk.Disk = (*Recorder)(nil)
 
 // NewRecorder returns a Recorder over a fresh zeroed in-memory disk of
-// the given capacity.
+// the given capacity, with a private clock.
 func NewRecorder(capacity int64) *Recorder {
-	return &Recorder{dev: disk.NewMem(capacity)}
+	return &Recorder{dev: disk.NewMem(capacity), clock: &Clock{}}
+}
+
+// NewRecorderShared is NewRecorder drawing event ticks from a shared
+// clock, for multi-device executions.
+func NewRecorderShared(capacity int64, c *Clock) *Recorder {
+	return &Recorder{dev: disk.NewMem(capacity), clock: c}
 }
 
 // ReadAt reads through to the underlying device.
@@ -65,7 +91,7 @@ func (r *Recorder) WriteAt(p []byte, off int64) error {
 	if err := r.dev.WriteAt(p, off); err != nil {
 		return err
 	}
-	r.ops = append(r.ops, WriteOp{Off: off, Data: append([]byte(nil), p...), Epoch: r.epoch})
+	r.ops = append(r.ops, WriteOp{Off: off, Data: append([]byte(nil), p...), Epoch: r.epoch, GSeq: r.clock.tick()})
 	return nil
 }
 
@@ -80,7 +106,16 @@ func (r *Recorder) Sync() error {
 		return err
 	}
 	r.epoch++
+	r.syncsG = append(r.syncsG, r.clock.tick())
 	return nil
+}
+
+// SyncGSeqs returns the global clock tick of each completed Sync, in
+// order (index e is the tick sealing epoch e).
+func (r *Recorder) SyncGSeqs() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.syncsG...)
 }
 
 // Size returns the capacity of the device in bytes.

@@ -19,9 +19,13 @@ type Options struct {
 	// within the crash epoch (default 3).
 	ReorderWindow int
 	// Mixed runs the mixed-ARU workload; FS runs the file-system
-	// workload. Both default to Mixed only.
+	// workload; Shard runs the sharded cross-shard 2PC workload.
+	// Default is Mixed only.
 	Mixed bool
 	FS    bool
+	Shard bool
+	// Shards sets the shard count of the sharded workload (default 2).
+	Shards int
 	// MixedParams sizes the mixed workload (zero = defaults).
 	MixedParams workload.MixedParams
 	// Inject selects a deliberate engine bug ("nosync",
@@ -44,10 +48,14 @@ type Options struct {
 type Violation struct {
 	Workload string
 	Seed     int64
-	State    CrashState // as found
+	State    CrashState // as found (single-device workloads)
 	Shrunk   CrashState // minimal failing state
-	Desc     []string   // oracle output for the shrunk state
-	Artifact string     // replayable descriptor for -replay
+	// MultiState/MultiShrunk are the multi-device descriptors of shard
+	// workload violations (State/Shrunk are unused there).
+	MultiState  string
+	MultiShrunk string
+	Desc        []string // oracle output for the shrunk state
+	Artifact    string   // replayable descriptor for -replay
 }
 
 // Report summarizes a checker run.
@@ -66,7 +74,7 @@ func Run(o Options) (Report, error) {
 	if o.MaxViolationsPerRun <= 0 {
 		o.MaxViolationsPerRun = 3
 	}
-	if !o.Mixed && !o.FS {
+	if !o.Mixed && !o.FS && !o.Shard {
 		o.Mixed = true
 	}
 	logf := o.Logf
@@ -89,6 +97,11 @@ func Run(o Options) (Report, error) {
 		}
 		if o.FS {
 			if err := runOne(&rpt, o, "fs", seed, logf, budgetLeft); err != nil {
+				return rpt, err
+			}
+		}
+		if o.Shard {
+			if err := runShardOne(&rpt, o, seed, logf, budgetLeft); err != nil {
 				return rpt, err
 			}
 		}
@@ -152,6 +165,66 @@ func runOne(rpt *Report, o Options, kind string, seed int64, logf func(string, .
 	})
 	logf("%s seed=%d: %d distinct states so far, %d violations", kind, seed, rpt.States, len(rpt.Violations))
 	return nil
+}
+
+// runShardOne executes one sharded workload instance and checks its
+// multi-device crash states through full multi-shard recovery.
+func runShardOne(rpt *Report, o Options, seed int64, logf func(string, ...any), budgetLeft func() int) error {
+	nShards := o.Shards
+	if nShards <= 0 {
+		nShards = 2
+	}
+	res, err := runShard(seed, nShards, o.Inject)
+	if err != nil {
+		return fmt.Errorf("crashenum: shard workload seed %d: %w", seed, err)
+	}
+	journals, syncsG, sizes := res.journals()
+	rpt.Runs++
+	violations := 0
+	ForEachMultiState(journals, syncsG, sizes, res.startG, o.ReorderWindow, seed, func(ms MultiState, imgs [][]byte) bool {
+		rpt.States++
+		if viols := res.checkImage(ms, imgs); len(viols) > 0 {
+			violations++
+			v := Violation{Workload: "shard", Seed: seed, MultiState: ms.String(), MultiShrunk: ms.String(), Desc: viols}
+			if !o.NoShrink {
+				shrunk := ShrinkMulti(ms, func(cand MultiState) bool {
+					return len(res.checkImage(cand, MaterializeMultiState(journals, sizes, cand))) > 0
+				})
+				v.MultiShrunk = shrunk.String()
+				v.Desc = res.checkImage(shrunk, MaterializeMultiState(journals, sizes, shrunk))
+			}
+			v.Artifact = fmt.Sprintf("-workloads shard -shards %d -seed %d -replay %s", nShards, seed, v.MultiShrunk)
+			rpt.Violations = append(rpt.Violations, v)
+			logf("VIOLATION shard seed=%d state=%s shrunk=%s: %v", seed, v.MultiState, v.MultiShrunk, v.Desc)
+			if violations >= o.MaxViolationsPerRun {
+				return false
+			}
+		}
+		if left := budgetLeft(); left >= 0 && left <= 0 {
+			return false
+		}
+		return true
+	})
+	logf("shard seed=%d: %d distinct states so far, %d violations", seed, rpt.States, len(rpt.Violations))
+	return nil
+}
+
+// ReplayShard re-runs the sharded workload and checks exactly one
+// multi-device crash state, the -replay path for shard violations.
+func ReplayShard(seed int64, o Options, ms MultiState) ([]string, error) {
+	nShards := o.Shards
+	if nShards <= 0 {
+		nShards = 2
+	}
+	res, err := runShard(seed, nShards, o.Inject)
+	if err != nil {
+		return nil, err
+	}
+	journals, _, sizes := res.journals()
+	if len(ms.Dev) != len(journals) {
+		return nil, fmt.Errorf("crashenum: state has %d devices, workload has %d (shard count mismatch?)", len(ms.Dev), len(journals))
+	}
+	return res.checkImage(ms, MaterializeMultiState(journals, sizes, ms)), nil
 }
 
 // Replay re-runs one workload and checks exactly one crash state,

@@ -136,6 +136,70 @@ func (r *Report) AddConcurrent(res ConcurrentResult) {
 	}
 }
 
+// AddShardScale appends the shard-scaling sweep (one result per shard
+// count) and the fast-path comparison to the report.
+func (r *Report) AddShardScale(res []ShardScaleResult, fp ShardFastPathResult) {
+	phase := func(name string, ops, elapsedNs int64) BenchPhase {
+		p := BenchPhase{Name: name, Ops: ops, ElapsedNs: elapsedNs}
+		if elapsedNs > 0 {
+			p.OpsPerSec = float64(ops) / (float64(elapsedNs) / 1e9)
+		}
+		if ops > 0 {
+			p.NsPerOp = float64(elapsedNs) / float64(ops)
+		}
+		return p
+	}
+	for _, sr := range res {
+		ops := int64(sr.Committers * sr.CommitsEach)
+		r.Results = append(r.Results, BenchResult{
+			Experiment: "shard",
+			Build:      "sharded",
+			Label:      fmt.Sprintf("%d shards", sr.Shards),
+			Phases: []BenchPhase{
+				phase("serial-commit", ops, sr.SerialElapsed.Nanoseconds()),
+				phase("group-commit", ops, sr.GroupElapsed.Nanoseconds()),
+			},
+		})
+	}
+	ops := int64(fp.Committers * fp.CommitsEach)
+	r.Results = append(r.Results, BenchResult{
+		Experiment: "shard",
+		Build:      "fastpath",
+		Phases: []BenchPhase{
+			phase("unsharded", ops, fp.Unsharded.Nanoseconds()),
+			phase("sharded", ops, fp.Sharded.Nanoseconds()),
+		},
+	})
+}
+
+// AddShardSkew appends the hot-key workload run: the aggregate commit
+// phase plus one phase per shard with its own ops/s split.
+func (r *Report) AddShardSkew(res ShardSkewResult) {
+	var total int64
+	for _, n := range res.PerShardOps {
+		total += n
+	}
+	br := BenchResult{
+		Experiment: "shardskew",
+		Build:      string(res.Placement),
+		Label:      fmt.Sprintf("%d shards", res.Shards),
+		Phases: []BenchPhase{{
+			Name:      "commit",
+			Ops:       total,
+			ElapsedNs: res.Elapsed.Nanoseconds(),
+			OpsPerSec: res.PerSec(),
+		}},
+	}
+	for s, n := range res.PerShardOps {
+		p := BenchPhase{Name: fmt.Sprintf("shard%d", s), Ops: n, ElapsedNs: res.Elapsed.Nanoseconds()}
+		if res.Elapsed > 0 {
+			p.OpsPerSec = float64(n) / res.Elapsed.Seconds()
+		}
+		br.Phases = append(br.Phases, p)
+	}
+	r.Results = append(r.Results, br)
+}
+
 // WriteFile writes the report as indented JSON to path ("-" = stdout).
 func (r *Report) WriteFile(path string) error {
 	buf, err := json.MarshalIndent(r, "", "  ")

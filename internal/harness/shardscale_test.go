@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aru/internal/workload"
+)
+
+func TestRunShardScaleSweep(t *testing.T) {
+	const committers, commits = 8, 4
+	res, err := RunShardScaleSweep([]int{1, 2}, committers, commits, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.FastPath != committers*commits {
+			t.Errorf("%d shards: %d fast-path commits, want %d", r.Shards, r.FastPath, committers*commits)
+		}
+		if r.Cross != 0 {
+			t.Errorf("%d shards: %d cross-shard commits on a pinned workload", r.Shards, r.Cross)
+		}
+		if r.SerialPerSec() <= 0 || r.GroupPerSec() <= 0 {
+			t.Errorf("%d shards: nonpositive throughput", r.Shards)
+		}
+		if r.SerialSyncs <= 0 || r.GroupSyncs <= 0 {
+			t.Errorf("%d shards: syncs not counted: %+v", r.Shards, r)
+		}
+	}
+	// The serial path is device-bound: two shards run two sync pipelines,
+	// so aggregate throughput must grow (generous floor for CI noise).
+	if s := res[1].SerialPerSec() / res[0].SerialPerSec(); s < 1.2 {
+		t.Errorf("serial path scaled %.2fx from 1 to 2 shards, want > 1.2x", s)
+	}
+	fp, err := RunShardFastPath(4, 4, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Unsharded <= 0 || fp.Sharded <= 0 {
+		t.Fatalf("fast path timings not measured: %+v", fp)
+	}
+	if out := FormatShardScale(res, fp); !strings.Contains(out, "shards") {
+		t.Errorf("FormatShardScale output missing table: %q", out)
+	}
+}
+
+func TestRunShardSkew(t *testing.T) {
+	z := workload.Skew{Keys: 16, Ops: 60, S: 1.2, V: 2, Seed: 7}
+	rr, err := RunShardSkew(4, 4, z, PlaceRR, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := RunShardSkew(4, 4, z, PlaceRange, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []ShardSkewResult{rr, rng} {
+		if len(res.PerShardOps) != 4 {
+			t.Fatalf("%s: got %d shard counters, want 4", res.Placement, len(res.PerShardOps))
+		}
+		var total int64
+		for _, n := range res.PerShardOps {
+			total += n
+		}
+		if total != int64(z.Ops) {
+			t.Errorf("%s: per-shard ops sum to %d, want %d", res.Placement, total, z.Ops)
+		}
+		if res.HotKeyOps <= 0 || res.Imbalance() < 1 {
+			t.Errorf("%s: skew not measured: hot=%d imbalance=%.2f", res.Placement, res.HotKeyOps, res.Imbalance())
+		}
+		if out := FormatShardSkew(res); !strings.Contains(out, "imbalance") {
+			t.Errorf("FormatShardSkew output missing summary: %q", out)
+		}
+	}
+	// Range placement concentrates the Zipf head on shard 0; round-robin
+	// spreads it. The shard imbalance must reflect that.
+	if rng.Imbalance() <= rr.Imbalance() {
+		t.Errorf("range placement imbalance %.2f not above round-robin %.2f",
+			rng.Imbalance(), rr.Imbalance())
+	}
+}
+
+func TestSkewScheduleDeterministic(t *testing.T) {
+	z := workload.DefaultSkew()
+	a, b := z.Schedule(), z.Schedule()
+	if len(a) != z.Ops {
+		t.Fatalf("schedule length %d, want %d", len(a), z.Ops)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at op %d", i)
+		}
+		if a[i] < 0 || a[i] >= z.Keys {
+			t.Fatalf("op %d key %d out of range", i, a[i])
+		}
+	}
+	counts := z.KeyCounts(a)
+	hot, cold := 0, z.Ops
+	for _, n := range counts {
+		if n > hot {
+			hot = n
+		}
+		if n < cold {
+			cold = n
+		}
+	}
+	if hot <= cold {
+		t.Errorf("no skew: hottest key %d ops, coldest %d", hot, cold)
+	}
+}

@@ -69,6 +69,13 @@ const (
 	// sync covering every commit in the batch). Arg1 = commit records
 	// made durable, Arg2 = segments written.
 	EvCommitBatch
+	// EvARUPrepare: an ARU was prepared under a cross-shard two-phase
+	// commit. ARU = its (shard-local) id, Arg1 = coordinator txn.
+	EvARUPrepare
+	// EvCoordCommit: a coordinator commit record reached stable
+	// storage — the commit point of a cross-shard ARU. Arg1 =
+	// coordinator txn, Arg2 = participant shards.
+	EvCoordCommit
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +109,10 @@ func (k EventKind) String() string {
 		return "fsop-end"
 	case EvCommitBatch:
 		return "commit-batch"
+	case EvARUPrepare:
+		return "aru-prepare"
+	case EvCoordCommit:
+		return "coord-commit"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -200,6 +211,13 @@ const (
 	// encoded as that many nanoseconds (Quantile/Mean then read
 	// directly as commits-per-batch).
 	HistCommitBatch
+	// HistPrepare: the prepare phase of one cross-shard ARU — from the
+	// start of the first participant's PrepareARU until every
+	// participant's prepare record is durable.
+	HistPrepare
+	// HistCoordCommit: appending and syncing one coordinator commit
+	// record (the 2PC commit point).
+	HistCoordCommit
 
 	numHists
 )
@@ -216,6 +234,8 @@ var histName = [numHists]string{
 	HistCleanerPass:     "cleaner_pass",
 	HistGroupCommitWait: "group_commit_wait",
 	HistCommitBatch:     "commit_batch",
+	HistPrepare:         "twopc_prepare",
+	HistCoordCommit:     "coord_commit",
 }
 
 // String implements fmt.Stringer.

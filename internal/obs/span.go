@@ -63,6 +63,19 @@ const (
 	// SpanRecoverySeg: replay of one segment during recovery (parent =
 	// the recovery span). Arg1 = segment index, Arg2 = entries.
 	SpanRecoverySeg
+	// Span2PC: one cross-shard ARU commit, from the first participant
+	// prepare until every participant applied the decision (parent =
+	// the caller's context, e.g. the server op span). ARU = the
+	// external unit id, Arg1 = coordinator txn, Arg2 = participants.
+	Span2PC
+	// SpanEnginePrepare: one PrepareARU on a participant shard (parent
+	// = the 2PC span). ARU = the shard-local unit, Arg1 = coordinator
+	// txn, Arg2 = list operations pre-logged.
+	SpanEnginePrepare
+	// SpanCoordCommit: appending + syncing the coordinator commit
+	// record — the 2PC commit point (parent = the 2PC span). Arg1 =
+	// coordinator txn.
+	SpanCoordCommit
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +101,12 @@ func (k SpanKind) String() string {
 		return "recovery"
 	case SpanRecoverySeg:
 		return "recovery-seg"
+	case Span2PC:
+		return "twopc-commit"
+	case SpanEnginePrepare:
+		return "engine-prepare"
+	case SpanCoordCommit:
+		return "coord-commit"
 	default:
 		return fmt.Sprintf("span(%d)", uint8(k))
 	}

@@ -48,6 +48,14 @@ const (
 	// KindAbort explicitly discards every preceding entry tagged with
 	// that ARU (allocations excepted; they are unconditional).
 	KindAbort
+	// KindPrepare marks an ARU as prepared under a cross-shard
+	// two-phase commit: every preceding entry tagged with that ARU is
+	// complete and durable, but whether it takes effect is decided by
+	// the coordinator transaction Txn. Recovery resolves a prepare
+	// whose commit/abort record is missing by consulting the
+	// coordinator log (present → redo at the prepare timestamp, absent
+	// → presumed abort, honoring §3.3 traceless abort).
+	KindPrepare
 	kindMax
 )
 
@@ -62,6 +70,7 @@ var kindNames = [...]string{
 	KindUnlink:      "unlink",
 	KindCommit:      "commit",
 	KindAbort:       "abort",
+	KindPrepare:     "prepare",
 }
 
 // String implements fmt.Stringer.
@@ -85,6 +94,7 @@ type Entry struct {
 	List  ListID
 	Pred  BlockID // KindLink: insert-after predecessor (NilBlock = head)
 	Slot  uint32  // KindWrite: index into this segment's data area
+	Txn   uint64  // KindPrepare: coordinator transaction id
 }
 
 // Per-kind encoded sizes. Every entry starts with kind (1), ARU (8) and
@@ -102,6 +112,7 @@ var kindSizes = [kindMax]int{
 	KindUnlink:      entryHdr + 8 + 8 + 8,
 	KindCommit:      entryHdr,
 	KindAbort:       entryHdr,
+	KindPrepare:     entryHdr + 8, // txn
 }
 
 // MaxEntrySize is the largest encoded entry size; space checks may use
@@ -147,6 +158,8 @@ func AppendEntry(buf []byte, e Entry) []byte {
 		put64(uint64(e.Block))
 		put64(uint64(e.List))
 		put64(uint64(e.Pred))
+	case KindPrepare:
+		put64(e.Txn)
 	case KindCommit, KindAbort:
 		// header only
 	default:
@@ -195,6 +208,8 @@ func DecodeEntry(buf []byte) (Entry, int, error) {
 		e.Block = BlockID(get64())
 		e.List = ListID(get64())
 		e.Pred = BlockID(get64())
+	case KindPrepare:
+		e.Txn = get64()
 	}
 	return e, size, nil
 }

@@ -12,6 +12,7 @@ func allKinds() []Kind {
 	return []Kind{
 		KindWrite, KindNewBlock, KindDeleteBlock, KindNewList,
 		KindDeleteList, KindLink, KindUnlink, KindCommit, KindAbort,
+		KindPrepare,
 	}
 }
 
@@ -30,6 +31,8 @@ func canonical(e Entry) Entry {
 		c.List = e.List
 	case KindLink, KindUnlink:
 		c.Block, c.List, c.Pred = e.Block, e.List, e.Pred
+	case KindPrepare:
+		c.Txn = e.Txn
 	}
 	return c
 }
@@ -38,7 +41,7 @@ func TestEntryRoundTripAllKinds(t *testing.T) {
 	for _, k := range allKinds() {
 		e := Entry{
 			Kind: k, ARU: 7, TS: 123456789,
-			Block: 42, List: 99, Pred: 41, Slot: 17,
+			Block: 42, List: 99, Pred: 41, Slot: 17, Txn: 5,
 		}
 		buf := AppendEntry(nil, e)
 		if len(buf) != EncodedSize(k) {
@@ -109,6 +112,7 @@ func TestEntryStreamQuick(t *testing.T) {
 				List:  ListID(rng.Uint64()),
 				Pred:  BlockID(rng.Uint64()),
 				Slot:  rng.Uint32(),
+				Txn:   rng.Uint64(),
 			})
 			entries = append(entries, e)
 			buf = AppendEntry(buf, e)

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"aru/internal/disk"
+)
+
+// The coordinator log is the commit point of every cross-shard ARU: a
+// tiny dedicated device holding one commit record per coordinator
+// transaction. The two-phase protocol makes a unit's outcome turn on
+// exactly one atomic event — the sync of its coordinator record.
+// Recovery resolves each shard's in-doubt prepares by presence: record
+// present → redo the unit on that shard; absent → presumed abort,
+// erased tracelessly (paper §3.3 extended across engines).
+//
+// Format: sector 0 is a header naming the format; each following
+// sector holds at most one record, magic | txn | crc32, written and
+// synced before EndARU acknowledges. A record never spans sectors, so
+// the device's per-sector atomicity makes each commit decision atomic
+// on its own; the CRC additionally rejects any torn or stale bytes.
+// The scan stops at the first invalid sector — valid, because records
+// are strictly appended and each is synced before the next is written,
+// so no valid record can sit beyond an invalid one.
+
+const (
+	coordHdrMagic = "ARU2PCL\x01"
+	coordRecMagic = "ARUCMT\x00\x01"
+	coordRecSize  = disk.SectorSize
+)
+
+// ErrCoordFull reports a coordinator log with no free record slots;
+// Checkpoint reclaims it (checkpoint every shard, then reset).
+var ErrCoordFull = errors.New("shard: coordinator log is full")
+
+// CoordBytes returns the device size of a coordinator log holding
+// records commit records.
+func CoordBytes(records int) int64 {
+	return int64(records+1) * coordRecSize
+}
+
+// CoordSummary describes a coordinator-log image, for inspection
+// tooling.
+type CoordSummary struct {
+	Slots   int64    // record capacity
+	Records []uint64 // committed transaction ids, in log order
+}
+
+// InspectCoordImage decodes a raw coordinator-log image without
+// mounting it: the header is validated and the records scanned exactly
+// as openCoord would.
+func InspectCoordImage(img []byte) (CoordSummary, error) {
+	slots := int64(len(img))/coordRecSize - 1
+	if slots < 1 {
+		return CoordSummary{}, fmt.Errorf("shard: coordinator image too small (%d bytes)", len(img))
+	}
+	if string(img[:8]) != coordHdrMagic {
+		return CoordSummary{}, fmt.Errorf("shard: image is not a coordinator log (bad header)")
+	}
+	s := CoordSummary{Slots: slots}
+	for i := int64(0); i < slots; i++ {
+		txn, ok := parseCoordRecord(img[(i+1)*coordRecSize : (i+2)*coordRecSize])
+		if !ok {
+			break
+		}
+		s.Records = append(s.Records, txn)
+	}
+	return s, nil
+}
+
+type coordLog struct {
+	dev disk.Disk
+
+	mu        sync.Mutex
+	committed map[uint64]bool
+	next      int64 // next free record slot (0-based; sector next+1)
+	slots     int64
+}
+
+func coordRecord(txn uint64) []byte {
+	p := make([]byte, coordRecSize)
+	copy(p, coordRecMagic)
+	binary.LittleEndian.PutUint64(p[8:], txn)
+	binary.LittleEndian.PutUint32(p[16:], crc32.ChecksumIEEE(p[:16]))
+	return p
+}
+
+func parseCoordRecord(p []byte) (uint64, bool) {
+	if string(p[:8]) != coordRecMagic {
+		return 0, false
+	}
+	if crc32.ChecksumIEEE(p[:16]) != binary.LittleEndian.Uint32(p[16:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(p[8:]), true
+}
+
+// formatCoord initializes dev as an empty coordinator log.
+func formatCoord(dev disk.Disk) (*coordLog, error) {
+	slots := dev.Size()/coordRecSize - 1
+	if slots < 1 {
+		return nil, fmt.Errorf("shard: coordinator device too small (%d bytes)", dev.Size())
+	}
+	hdr := make([]byte, coordRecSize)
+	copy(hdr, coordHdrMagic)
+	if err := dev.WriteAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("shard: writing coordinator header: %w", err)
+	}
+	// The first record slot must read invalid on a device with stale
+	// contents (a re-format): zero it explicitly.
+	if err := dev.WriteAt(make([]byte, coordRecSize), coordRecSize); err != nil {
+		return nil, err
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	return &coordLog{dev: dev, committed: make(map[uint64]bool), slots: slots}, nil
+}
+
+// openCoord mounts an existing coordinator log, rebuilding the
+// committed-transaction set from the records on it.
+func openCoord(dev disk.Disk) (*coordLog, error) {
+	slots := dev.Size()/coordRecSize - 1
+	if slots < 1 {
+		return nil, fmt.Errorf("shard: coordinator device too small (%d bytes)", dev.Size())
+	}
+	hdr := make([]byte, coordRecSize)
+	if err := dev.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("shard: reading coordinator header: %w", err)
+	}
+	if string(hdr[:8]) != coordHdrMagic {
+		return nil, fmt.Errorf("shard: device is not a coordinator log (bad header)")
+	}
+	c := &coordLog{dev: dev, committed: make(map[uint64]bool), slots: slots}
+	buf := make([]byte, coordRecSize)
+	for i := int64(0); i < slots; i++ {
+		if err := dev.ReadAt(buf, (i+1)*coordRecSize); err != nil {
+			return nil, err
+		}
+		txn, ok := parseCoordRecord(buf)
+		if !ok {
+			break
+		}
+		c.committed[txn] = true
+		c.next = i + 1
+	}
+	return c, nil
+}
+
+// commit makes txn's commit record durable — the 2PC commit point.
+// When it returns, every future recovery resolves txn as committed.
+func (c *coordLog) commit(txn uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.next >= c.slots {
+		return ErrCoordFull
+	}
+	if err := c.dev.WriteAt(coordRecord(txn), (c.next+1)*coordRecSize); err != nil {
+		return err
+	}
+	if err := c.dev.Sync(); err != nil {
+		return err
+	}
+	c.next++
+	c.committed[txn] = true
+	return nil
+}
+
+// has reports whether txn has a durable commit record — the resolver
+// recovery consults for each in-doubt prepare.
+func (c *coordLog) has(txn uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed[txn]
+}
+
+// maxTxn returns the largest committed transaction id (0 if none),
+// one input to the next-transaction floor at open.
+func (c *coordLog) maxTxn() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m uint64
+	for t := range c.committed {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// used returns how many record slots are occupied.
+func (c *coordLog) used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// reset erases every record, reclaiming the log. Only safe once no
+// shard can hold an in-doubt prepare referencing a logged transaction
+// — i.e. after every shard checkpointed (a checkpoint cuts the replay
+// window and refuses while ARUs are open, so no prepare survives it).
+func (c *coordLog) reset() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.next == 0 {
+		return nil
+	}
+	// Zero every slot written since the last reset; a fresh append then
+	// re-fills from slot 0 and the open-time scan never sees stale
+	// records beyond its stop point.
+	if err := c.dev.WriteAt(make([]byte, c.next*coordRecSize), coordRecSize); err != nil {
+		return err
+	}
+	if err := c.dev.Sync(); err != nil {
+		return err
+	}
+	c.next = 0
+	c.committed = make(map[uint64]bool)
+	return nil
+}

@@ -1,0 +1,521 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+func testLayout() seg.Layout {
+	return seg.Layout{
+		BlockSize: 1024,
+		SegBytes:  8192,
+		NumSegs:   96,
+		MaxBlocks: 2048,
+		MaxLists:  512,
+	}
+}
+
+// rig is a sharded disk over recyclable in-memory devices.
+type rig struct {
+	devs  []*disk.Sim
+	coord *disk.Sim
+	d     *Disk
+}
+
+func newRig(t *testing.T, n int, o Options) *rig {
+	t.Helper()
+	if o.Params.Layout.NumSegs == 0 {
+		o.Params.Layout = testLayout()
+		o.Params.CheckpointEvery = 8
+		o.Params.CacheBlocks = 128
+	}
+	r := &rig{coord: disk.NewMem(CoordBytes(64))}
+	var devs []disk.Disk
+	for i := 0; i < n; i++ {
+		dev := disk.NewMem(o.Params.Layout.DiskBytes())
+		r.devs = append(r.devs, dev)
+		devs = append(devs, dev)
+	}
+	d, err := Format(devs, r.coord, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.d = d
+	return r
+}
+
+// recycle models a whole-machine power cycle: every shard device and
+// the coordinator device keep their contents, all volatile state is
+// lost, and the disk is re-opened through full recovery.
+func (r *rig) recycle(t *testing.T, o Options) []core.RecoveryReport {
+	t.Helper()
+	var devs []disk.Disk
+	for i, dev := range r.devs {
+		r.devs[i] = dev.Recycle()
+		devs = append(devs, r.devs[i])
+	}
+	r.coord = r.coord.Recycle()
+	d, reports, err := OpenReport(devs, r.coord, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.d = d
+	return reports
+}
+
+// state captures the full committed logical state visible through the
+// sharded disk: every list, its membership, and every member's bytes.
+type state map[ListID]map[BlockID][]byte
+
+func snapState(t *testing.T, d *Disk) state {
+	t.Helper()
+	lists, err := d.Lists(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := make(state)
+	for _, l := range lists {
+		members, err := d.ListBlocks(0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st[l] = make(map[BlockID][]byte)
+		for _, b := range members {
+			buf := make([]byte, d.BlockSize())
+			if err := d.Read(0, b, buf); err != nil {
+				t.Fatal(err)
+			}
+			st[l][b] = buf
+		}
+	}
+	return st
+}
+
+func payload(d *Disk, tag int) []byte {
+	p := make([]byte, d.BlockSize())
+	for i := range p {
+		p[i] = byte(tag*31 + i)
+	}
+	return p
+}
+
+// twoShardLists returns one list on each of the first two shards.
+func twoShardLists(t *testing.T, d *Disk) (l0, l1 ListID) {
+	t.Helper()
+	for {
+		l, err := d.NewList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch d.ShardOfList(l) {
+		case 0:
+			if l0 == 0 {
+				l0 = l
+			}
+		case 1:
+			if l1 == 0 {
+				l1 = l
+			}
+		}
+		if l0 != 0 && l1 != 0 {
+			return l0, l1
+		}
+	}
+}
+
+func TestRoutingRoundTrip(t *testing.T) {
+	r := newRig(t, 4, Options{})
+	defer r.d.Close()
+	d := r.d
+	// Lists spread round-robin; every id routes back to its shard, and
+	// blocks are co-located with their list.
+	seen := make(map[int]bool)
+	for k := 0; k < 8; k++ {
+		l, err := d.NewList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si := d.ShardOfList(l)
+		seen[si] = true
+		b, err := d.NewBlock(0, l, core.NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ShardOfBlock(b) != si {
+			t.Fatalf("block %d on shard %d, its list %d on shard %d", b, d.ShardOfBlock(b), l, si)
+		}
+		if members, err := d.ListBlocks(0, l); err != nil || len(members) != 1 || members[0] != b {
+			t.Fatalf("ListBlocks(%d) = %v (%v), want [%d]", l, members, err, b)
+		}
+		info, err := d.StatBlock(0, b)
+		if err != nil || info.ID != b || info.List != l {
+			t.Fatalf("StatBlock(%d) = %+v (%v), want ID=%d List=%d", b, info, err, b, l)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("round-robin used %d of 4 shards", len(seen))
+	}
+	lists, err := d.Lists(0)
+	if err != nil || len(lists) != 8 {
+		t.Fatalf("Lists = %v (%v), want 8 lists", lists, err)
+	}
+	if !sort.SliceIsSorted(lists, func(i, j int) bool { return lists[i] < lists[j] }) {
+		t.Errorf("Lists not sorted: %v", lists)
+	}
+}
+
+func TestCrossShardMoveRejected(t *testing.T) {
+	r := newRig(t, 2, Options{})
+	defer r.d.Close()
+	l0, l1 := twoShardLists(t, r.d)
+	b, err := r.d.NewBlock(0, l0, core.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.MoveBlock(0, b, l1, core.NilBlock); !errors.Is(err, ErrCrossShardMove) {
+		t.Errorf("cross-shard MoveBlock: got %v, want ErrCrossShardMove", err)
+	}
+	// Same-shard moves still work through the id translation.
+	l0b, err := r.d.NewBlock(0, l0, core.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.MoveBlock(0, b, l0, l0b); err != nil {
+		t.Fatal(err)
+	}
+	members, err := r.d.ListBlocks(0, l0)
+	if err != nil || !reflect.DeepEqual(members, []BlockID{l0b, b}) {
+		t.Errorf("after move: %v (%v), want [%d %d]", members, err, l0b, b)
+	}
+}
+
+func TestFastPathSingleShard(t *testing.T) {
+	r := newRig(t, 2, Options{})
+	defer r.d.Close()
+	d := r.d
+	l0, _ := twoShardLists(t, d)
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewBlock(a, l0, core.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(a, b, payload(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndARU(a); err != nil {
+		t.Fatal(err)
+	}
+	st := d.ShardStats()
+	if st.FastPathCommits != 1 || st.CrossShardCommits != 0 {
+		t.Errorf("fast=%d cross=%d, want 1/0", st.FastPathCommits, st.CrossShardCommits)
+	}
+	if st.CoordRecords != 0 {
+		t.Errorf("fast path wrote %d coordinator records", st.CoordRecords)
+	}
+	if st.Engine.ARUsPrepared != 0 {
+		t.Errorf("fast path prepared %d ARUs", st.Engine.ARUsPrepared)
+	}
+	// An empty unit also takes the fast path.
+	a2, _ := d.BeginARU()
+	if err := d.EndARU(a2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ShardStats().FastPathCommits; got != 2 {
+		t.Errorf("FastPathCommits = %d, want 2", got)
+	}
+}
+
+func TestCrossShardCommitAndRecovery(t *testing.T) {
+	for _, seq := range []bool{true, false} {
+		t.Run(fmt.Sprintf("sequential=%v", seq), func(t *testing.T) {
+			o := Options{Sequential2PC: seq}
+			r := newRig(t, 2, o)
+			d := r.d
+			l0, l1 := twoShardLists(t, d)
+			a, err := d.BeginARU()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b0, err := d.NewBlock(a, l0, core.NilBlock)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := d.NewBlock(a, l1, core.NilBlock)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Write(a, b0, payload(d, 10)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Write(a, b1, payload(d, 11)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.EndARU(a); err != nil {
+				t.Fatal(err)
+			}
+			st := d.ShardStats()
+			if st.CrossShardCommits != 1 || st.Engine.ARUsPrepared != 2 || st.CoordRecords != 1 {
+				t.Errorf("cross=%d prepared=%d coord=%d, want 1/2/1",
+					st.CrossShardCommits, st.Engine.ARUsPrepared, st.CoordRecords)
+			}
+			want := snapState(t, d)
+			if len(want[l0]) != 1 || len(want[l1]) != 1 {
+				t.Fatalf("committed state incomplete: %v", want)
+			}
+
+			// The 2PC commit is durable by construction — no Flush was
+			// called, yet a full-machine crash must keep the unit.
+			reports := r.recycle(t, o)
+			defer r.d.Close()
+			inDoubt, committed := 0, 0
+			for _, rpt := range reports {
+				inDoubt += rpt.InDoubt
+				committed += rpt.InDoubtCommitted
+			}
+			if inDoubt != 2 || committed != 2 {
+				t.Errorf("recovery resolved %d/%d in doubt as committed, want 2/2", committed, inDoubt)
+			}
+			if got := snapState(t, r.d); !reflect.DeepEqual(got, want) {
+				t.Errorf("recovered state differs:\n got %v\nwant %v", got, want)
+			}
+			if !bytes.Equal(want[l0][b0], payload(r.d, 10)) || !bytes.Equal(want[l1][b1], payload(r.d, 11)) {
+				t.Errorf("recovered contents differ")
+			}
+			if err := r.d.VerifyInternal(); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := r.d.CheckDisk(); err != nil || n != 0 {
+				t.Errorf("sweep freed %d (%v), want 0", n, err)
+			}
+		})
+	}
+}
+
+func TestCrossShardAbortTraceless(t *testing.T) {
+	r := newRig(t, 2, Options{})
+	defer r.d.Close()
+	d := r.d
+	l0, l1 := twoShardLists(t, d)
+	want := snapState(t, d)
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewBlock(a, l0, core.NilBlock); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewBlock(a, l1, core.NilBlock); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AbortARU(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapState(t, d); !reflect.DeepEqual(got, want) {
+		t.Errorf("abort left traces:\n got %v\nwant %v", got, want)
+	}
+	if got := d.ShardStats().CrossShardAborts; got != 1 {
+		t.Errorf("CrossShardAborts = %d, want 1", got)
+	}
+}
+
+// TestCrossShardLeakSweep is the in-doubt abort path end to end: a
+// cross-shard unit allocates blocks on two shards, its prepares become
+// durable, and the machine dies before the coordinator record. Each
+// shard's recovery must presume abort, erase the unit tracelessly, and
+// its consistency sweep must free the unit's allocations on that
+// shard.
+func TestCrossShardLeakSweep(t *testing.T) {
+	o := Options{Sequential2PC: true}
+	r := newRig(t, 2, o)
+	d := r.d
+	l0, l1 := twoShardLists(t, d)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapState(t, d)
+
+	a, err := d.BeginARU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewBlock(a, l0, core.NilBlock); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewBlock(a, l1, core.NilBlock); err != nil {
+		t.Fatal(err)
+	}
+	// Run phase 1 by hand — prepare both participants and make the
+	// prepares durable — and then crash before any coordinator record
+	// exists, the in-doubt window the resolver must close as abort.
+	d.mu.Lock()
+	u := d.units[a]
+	d.mu.Unlock()
+	if len(u.order) != 2 {
+		t.Fatalf("unit touched %d shards, want 2", len(u.order))
+	}
+	txn := d.nextTxn.Add(1) - 1
+	for _, i := range u.order {
+		if err := d.shards[i].PrepareARU(u.locals[i], txn); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.shards[i].Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.shards[i].PreparedARUs(); len(got) != 1 {
+			t.Fatalf("shard %d: %d prepared ARUs, want 1", i, len(got))
+		}
+	}
+
+	reports := r.recycle(t, o)
+	defer r.d.Close()
+	for i, rpt := range reports {
+		if rpt.InDoubt != 1 || rpt.InDoubtAborted != 1 {
+			t.Errorf("shard %d: in-doubt %d aborted %d, want 1/1", i, rpt.InDoubt, rpt.InDoubtAborted)
+		}
+		// The unit's NewBlock allocation on this shard is the leak the
+		// sweep must free.
+		if rpt.LeakedFreed == 0 {
+			t.Errorf("shard %d: sweep freed nothing; aborted unit's allocation leaked", i)
+		}
+	}
+	if got := snapState(t, r.d); !reflect.DeepEqual(got, want) {
+		t.Errorf("presumed abort not traceless:\n got %v\nwant %v", got, want)
+	}
+	if err := r.d.VerifyInternal(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.d.CheckDisk(); err != nil || n != 0 {
+		t.Errorf("second sweep freed %d (%v), want 0", n, err)
+	}
+}
+
+func TestCoordinatorGC(t *testing.T) {
+	o := Options{}
+	r := newRig(t, 2, o)
+	d := r.d
+	l0, l1 := twoShardLists(t, d)
+	commit := func() {
+		a, err := d.BeginARU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.NewBlock(a, l0, core.NilBlock); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.NewBlock(a, l1, core.NilBlock); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EndARU(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit()
+	commit()
+	if got := d.ShardStats().CoordRecords; got != 2 {
+		t.Fatalf("CoordRecords = %d, want 2", got)
+	}
+	txnBefore := d.nextTxn.Load()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ShardStats().CoordRecords; got != 0 {
+		t.Errorf("CoordRecords after checkpoint = %d, want 0", got)
+	}
+	// Transaction ids stay monotone across the reset.
+	commit()
+	if d.nextTxn.Load() <= txnBefore {
+		t.Errorf("txn counter went backwards after reset")
+	}
+	want := snapState(t, d)
+	// Recovery after the reset: the checkpoints hold everything, no
+	// in-doubt units exist, and the erased records are never missed.
+	reports := r.recycle(t, o)
+	defer r.d.Close()
+	for i, rpt := range reports {
+		if rpt.InDoubtAborted != 0 {
+			t.Errorf("shard %d: %d in-doubt aborted after clean GC", i, rpt.InDoubtAborted)
+		}
+	}
+	if got := snapState(t, r.d); !reflect.DeepEqual(got, want) {
+		t.Errorf("state differs after GC + recovery")
+	}
+	// The open-time txn floor still clears every id any shard has seen.
+	if r.d.nextTxn.Load() < txnBefore {
+		t.Errorf("reopened txn floor %d below pre-GC %d", r.d.nextTxn.Load(), txnBefore)
+	}
+}
+
+func TestCoordinatorLogFull(t *testing.T) {
+	// A 2-slot coordinator: the third cross-shard commit must fail
+	// cleanly (unit aborted, not half-committed).
+	o := Options{Params: core.Params{Layout: testLayout(), CheckpointEvery: 8, CacheBlocks: 128}}
+	coord := disk.NewMem(CoordBytes(2))
+	var devs []disk.Disk
+	var sims []*disk.Sim
+	for i := 0; i < 2; i++ {
+		dev := disk.NewMem(o.Params.Layout.DiskBytes())
+		sims = append(sims, dev)
+		devs = append(devs, dev)
+	}
+	d, err := Format(devs, coord, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	l0, l1 := twoShardLists(t, d)
+	cross := func() error {
+		a, err := d.BeginARU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.NewBlock(a, l0, core.NilBlock); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.NewBlock(a, l1, core.NilBlock); err != nil {
+			t.Fatal(err)
+		}
+		return d.EndARU(a)
+	}
+	if err := cross(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cross(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapState(t, d)
+	if err := cross(); !errors.Is(err, ErrCoordFull) {
+		t.Fatalf("third commit: got %v, want ErrCoordFull", err)
+	}
+	if got := snapState(t, d); !reflect.DeepEqual(got, want) {
+		t.Errorf("failed commit left traces")
+	}
+	// Checkpoint reclaims the log; commits work again.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cross(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownARU(t *testing.T) {
+	r := newRig(t, 2, Options{})
+	defer r.d.Close()
+	if err := r.d.EndARU(99); !errors.Is(err, core.ErrNoSuchARU) {
+		t.Errorf("EndARU(99): got %v, want ErrNoSuchARU", err)
+	}
+	if err := r.d.Write(99, 1, make([]byte, r.d.BlockSize())); !errors.Is(err, core.ErrNoSuchARU) {
+		t.Errorf("Write(99): got %v, want ErrNoSuchARU", err)
+	}
+}

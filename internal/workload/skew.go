@@ -1,0 +1,62 @@
+package workload
+
+import "math/rand"
+
+// Skew describes a hot-key workload for the sharded disk: Ops recovery
+// units, each updating one of Keys keys, with keys drawn from a Zipf
+// distribution. On a sharded disk the keys map to lists, the lists
+// route to shards, and the skew concentrates commit traffic on the hot
+// shards — the interesting regime for per-shard group commit.
+type Skew struct {
+	Keys int     // distinct keys (each key is one list with one block)
+	Ops  int     // recovery units to commit
+	S    float64 // Zipf s parameter (>1; larger = more skewed)
+	V    float64 // Zipf v parameter (≥1; larger = flatter head)
+	Seed int64
+}
+
+// DefaultSkew is the standard shard-skew configuration: 64 keys,
+// s=1.2 — a hot head (the top key draws roughly a fifth of the ops)
+// with a long tail touching every shard.
+func DefaultSkew() Skew {
+	return Skew{Keys: 64, Ops: 2000, S: 1.2, V: 4, Seed: 1996}
+}
+
+// Scale returns a copy with Ops scaled by 1/f (at least one op per
+// key), for quick runs.
+func (z Skew) Scale(f int) Skew {
+	if f > 1 {
+		z.Ops = max(z.Keys, z.Ops/f)
+	}
+	return z
+}
+
+// Schedule returns the key index of each op, deterministically for the
+// seed. The sequence is the whole workload: callers partition it among
+// committers however they like without changing which keys get hot.
+func (z Skew) Schedule() []int {
+	rng := rand.New(rand.NewSource(z.Seed))
+	s, v := z.S, z.V
+	if s <= 1 {
+		s = 1.2
+	}
+	if v < 1 {
+		v = 1
+	}
+	zipf := rand.NewZipf(rng, s, v, uint64(z.Keys-1))
+	sched := make([]int, z.Ops)
+	for i := range sched {
+		sched[i] = int(zipf.Uint64())
+	}
+	return sched
+}
+
+// KeyCounts returns how many ops the schedule assigns to each key —
+// the expected histogram against which per-shard counters are judged.
+func (z Skew) KeyCounts(sched []int) []int {
+	counts := make([]int, z.Keys)
+	for _, k := range sched {
+		counts[k]++
+	}
+	return counts
+}
