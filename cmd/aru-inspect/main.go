@@ -163,7 +163,11 @@ func inspectShardDir(dir string, tables, stats bool) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("coordinator log: %d/%d record slots used\n", len(cs.Records), cs.Slots)
+	fmt.Printf("coordinator log: formatted for %d shards, %d/%d record slots used\n",
+		cs.Shards, len(cs.Records), cs.Slots)
+	if cs.Shards != len(imgs) {
+		fatal(fmt.Errorf("directory holds %d shard images but the coordinator log was formatted for %d", len(imgs), cs.Shards))
+	}
 	for _, txn := range cs.Records {
 		fmt.Printf("  commit record: txn %d\n", txn)
 	}

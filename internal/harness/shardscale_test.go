@@ -5,11 +5,16 @@ import (
 	"testing"
 	"time"
 
+	"aru/internal/alloctest"
 	"aru/internal/workload"
 )
 
 func TestRunShardScaleSweep(t *testing.T) {
-	const committers, commits = 8, 4
+	// Enough commits per committer that the sync-bound steady state
+	// dominates the per-run constants (goroutine spawn, first-commit
+	// warmup) — under the race detector a shorter run makes the scaling
+	// ratio flaky.
+	const committers, commits = 8, 12
 	res, err := RunShardScaleSweep([]int{1, 2}, committers, commits, 200*time.Microsecond)
 	if err != nil {
 		t.Fatal(err)
@@ -33,8 +38,14 @@ func TestRunShardScaleSweep(t *testing.T) {
 	}
 	// The serial path is device-bound: two shards run two sync pipelines,
 	// so aggregate throughput must grow (generous floor for CI noise).
-	if s := res[1].SerialPerSec() / res[0].SerialPerSec(); s < 1.2 {
-		t.Errorf("serial path scaled %.2fx from 1 to 2 shards, want > 1.2x", s)
+	// Not meaningful under the race detector, whose per-op CPU overhead
+	// swamps the sync pipelining (observed ratios dip below 1x) — like
+	// the alloc gates, the perf assertion is skipped there; the real
+	// scaling gate is the non-race aru-bench -exp shard CI step.
+	if !alloctest.RaceEnabled {
+		if s := res[1].SerialPerSec() / res[0].SerialPerSec(); s < 1.2 {
+			t.Errorf("serial path scaled %.2fx from 1 to 2 shards, want > 1.2x", s)
+		}
 	}
 	fp, err := RunShardFastPath(4, 4, 200*time.Microsecond)
 	if err != nil {

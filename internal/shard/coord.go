@@ -18,17 +18,21 @@ import (
 // present → redo the unit on that shard; absent → presumed abort,
 // erased tracelessly (paper §3.3 extended across engines).
 //
-// Format: sector 0 is a header naming the format; each following
-// sector holds at most one record, magic | txn | crc32, written and
-// synced before EndARU acknowledges. A record never spans sectors, so
-// the device's per-sector atomicity makes each commit decision atomic
-// on its own; the CRC additionally rejects any torn or stale bytes.
-// The scan stops at the first invalid sector — valid, because records
-// are strictly appended and each is synced before the next is written,
-// so no valid record can sit beyond an invalid one.
+// Format: sector 0 is a header naming the format and the shard count
+// the log coordinates (validated at open — routing is pure id
+// arithmetic over the device count, so a mismatched mount would
+// silently misroute every id); each following sector holds at most one
+// record, magic | txn | crc32, written and synced before EndARU
+// acknowledges. A record never spans sectors, so the device's
+// per-sector atomicity makes each commit decision atomic on its own;
+// the CRC additionally rejects any torn or stale bytes. The scan stops
+// at the first invalid sector — valid, because records are strictly
+// appended, each is synced before the next is written, and format
+// zeroes the whole device, so no valid record can ever sit beyond the
+// append point.
 
 const (
-	coordHdrMagic = "ARU2PCL\x01"
+	coordHdrMagic = "ARU2PCL\x02"
 	coordRecMagic = "ARUCMT\x00\x01"
 	coordRecSize  = disk.SectorSize
 )
@@ -46,6 +50,7 @@ func CoordBytes(records int) int64 {
 // CoordSummary describes a coordinator-log image, for inspection
 // tooling.
 type CoordSummary struct {
+	Shards  int      // shard count the log was formatted for
 	Slots   int64    // record capacity
 	Records []uint64 // committed transaction ids, in log order
 }
@@ -58,10 +63,11 @@ func InspectCoordImage(img []byte) (CoordSummary, error) {
 	if slots < 1 {
 		return CoordSummary{}, fmt.Errorf("shard: coordinator image too small (%d bytes)", len(img))
 	}
-	if string(img[:8]) != coordHdrMagic {
-		return CoordSummary{}, fmt.Errorf("shard: image is not a coordinator log (bad header)")
+	shards, err := parseCoordHeader(img[:coordRecSize])
+	if err != nil {
+		return CoordSummary{}, err
 	}
-	s := CoordSummary{Slots: slots}
+	s := CoordSummary{Shards: shards, Slots: slots}
 	for i := int64(0); i < slots; i++ {
 		txn, ok := parseCoordRecord(img[(i+1)*coordRecSize : (i+2)*coordRecSize])
 		if !ok {
@@ -99,21 +105,42 @@ func parseCoordRecord(p []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(p[8:]), true
 }
 
-// formatCoord initializes dev as an empty coordinator log.
-func formatCoord(dev disk.Disk) (*coordLog, error) {
+func coordHeader(shards int) []byte {
+	p := make([]byte, coordRecSize)
+	copy(p, coordHdrMagic)
+	binary.LittleEndian.PutUint32(p[8:], uint32(shards))
+	binary.LittleEndian.PutUint32(p[12:], crc32.ChecksumIEEE(p[:12]))
+	return p
+}
+
+func parseCoordHeader(p []byte) (int, error) {
+	if string(p[:8]) != coordHdrMagic {
+		return 0, fmt.Errorf("shard: device is not a coordinator log (bad header)")
+	}
+	if crc32.ChecksumIEEE(p[:12]) != binary.LittleEndian.Uint32(p[12:]) {
+		return 0, fmt.Errorf("shard: coordinator header checksum mismatch")
+	}
+	return int(binary.LittleEndian.Uint32(p[8:])), nil
+}
+
+// formatCoord initializes dev as an empty coordinator log for a set of
+// shards shards.
+func formatCoord(dev disk.Disk, shards int) (*coordLog, error) {
 	slots := dev.Size()/coordRecSize - 1
 	if slots < 1 {
 		return nil, fmt.Errorf("shard: coordinator device too small (%d bytes)", dev.Size())
 	}
-	hdr := make([]byte, coordRecSize)
-	copy(hdr, coordHdrMagic)
-	if err := dev.WriteAt(hdr, 0); err != nil {
-		return nil, fmt.Errorf("shard: writing coordinator header: %w", err)
-	}
-	// The first record slot must read invalid on a device with stale
-	// contents (a re-format): zero it explicitly.
-	if err := dev.WriteAt(make([]byte, coordRecSize), coordRecSize); err != nil {
-		return nil, err
+	// Every record slot must read invalid on a device with stale
+	// contents (a re-format over an older coordinator log): the
+	// open-time scan stops at the first invalid sector, so a CRC-valid
+	// leftover anywhere past the append point would be scanned as
+	// committed once the new log grows up to it — and could wrongly
+	// resolve an in-doubt prepare whose txn id collides with it. Zero
+	// the whole device, not just the first slot.
+	img := make([]byte, (slots+1)*coordRecSize)
+	copy(img, coordHeader(shards))
+	if err := dev.WriteAt(img, 0); err != nil {
+		return nil, fmt.Errorf("shard: formatting coordinator log: %w", err)
 	}
 	if err := dev.Sync(); err != nil {
 		return nil, err
@@ -121,9 +148,10 @@ func formatCoord(dev disk.Disk) (*coordLog, error) {
 	return &coordLog{dev: dev, committed: make(map[uint64]bool), slots: slots}, nil
 }
 
-// openCoord mounts an existing coordinator log, rebuilding the
-// committed-transaction set from the records on it.
-func openCoord(dev disk.Disk) (*coordLog, error) {
+// openCoord mounts an existing coordinator log, validating the shard
+// count it was formatted for and rebuilding the committed-transaction
+// set from the records on it.
+func openCoord(dev disk.Disk, shards int) (*coordLog, error) {
 	slots := dev.Size()/coordRecSize - 1
 	if slots < 1 {
 		return nil, fmt.Errorf("shard: coordinator device too small (%d bytes)", dev.Size())
@@ -132,8 +160,12 @@ func openCoord(dev disk.Disk) (*coordLog, error) {
 	if err := dev.ReadAt(hdr, 0); err != nil {
 		return nil, fmt.Errorf("shard: reading coordinator header: %w", err)
 	}
-	if string(hdr[:8]) != coordHdrMagic {
-		return nil, fmt.Errorf("shard: device is not a coordinator log (bad header)")
+	n, err := parseCoordHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if n != shards {
+		return nil, fmt.Errorf("%w: coordinator log formatted for %d shards, mounted with %d", ErrShardMismatch, n, shards)
 	}
 	c := &coordLog{dev: dev, committed: make(map[uint64]bool), slots: slots}
 	buf := make([]byte, coordRecSize)
@@ -200,18 +232,20 @@ func (c *coordLog) used() int64 {
 }
 
 // reset erases every record, reclaiming the log. Only safe once no
-// shard can hold an in-doubt prepare referencing a logged transaction
-// — i.e. after every shard checkpointed (a checkpoint cuts the replay
-// window and refuses while ARUs are open, so no prepare survives it).
+// shard can hold an in-doubt prepare referencing a logged transaction —
+// i.e. after every shard checkpointed with commits barred for the whole
+// sequence (Disk.Checkpoint holds the commit gate exclusively, so no
+// 2PC commit can land between one shard's checkpoint and this reset).
 func (c *coordLog) reset() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.next == 0 {
 		return nil
 	}
-	// Zero every slot written since the last reset; a fresh append then
-	// re-fills from slot 0 and the open-time scan never sees stale
-	// records beyond its stop point.
+	// Zero every slot written since the last reset. Format zeroed the
+	// whole device and appends are dense from slot 0, so zeroing the
+	// written prefix restores the invariant that every slot at or past
+	// the append point reads invalid.
 	if err := c.dev.WriteAt(make([]byte, c.next*coordRecSize), coordRecSize); err != nil {
 		return err
 	}

@@ -22,8 +22,10 @@
 package shard
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -55,6 +57,13 @@ var (
 	ErrCrossShardMove = errors.New("shard: MoveBlock across shards is not supported")
 	// ErrShardCount reports a device/shard count mismatch.
 	ErrShardCount = errors.New("shard: need at least one shard device")
+	// ErrShardMismatch reports a shard set mounted with a different
+	// device count or order than it was formatted with. Routing is pure
+	// id arithmetic over the device count and position, so such a mount
+	// would silently misroute every external id; Format stamps each
+	// device (and the coordinator header) with its placement and Open
+	// validates it.
+	ErrShardMismatch = errors.New("shard: device does not match its formatted shard placement")
 )
 
 // Options configures a sharded disk.
@@ -122,6 +131,20 @@ type Disk struct {
 	nextID ARUID
 	closed bool
 
+	// ckpt gates cross-shard commits against checkpoint: the 2PC path
+	// holds it shared from first prepare to last apply; Checkpoint
+	// holds it exclusively across the whole
+	// checkpoint-every-shard-then-reset sequence. Without the barrier a
+	// full 2PC commit could land between shard i's checkpoint and the
+	// coordinator reset — the reset would erase its commit record while
+	// its prepare still sat in shard i's post-checkpoint replay window,
+	// so a crash would presume-abort the unit on shard i but keep it on
+	// a later-checkpointed shard. Fast-path (single-shard) commits and
+	// aborts need no gate: they write no prepare and no coordinator
+	// record, and their open local ARUs already make a concurrent
+	// engine checkpoint refuse.
+	ckpt sync.RWMutex
+
 	fastCommits  atomic.Int64
 	crossCommits atomic.Int64
 	crossAborts  atomic.Int64
@@ -136,12 +159,13 @@ func shardParams(o Options, c *coordLog) core.Params {
 }
 
 // Format initializes devs[i] as shard i and coordDev as the
-// coordinator log, returning a fresh sharded disk.
+// coordinator log, returning a fresh sharded disk. Each device is
+// stamped with its shard index and the shard count, validated at Open.
 func Format(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, error) {
 	if len(devs) == 0 {
 		return nil, ErrShardCount
 	}
-	c, err := formatCoord(coordDev)
+	c, err := formatCoord(coordDev, len(devs))
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +175,9 @@ func Format(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, error) {
 		d, err := core.Format(dev, p)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := stampShard(dev, i, len(devs)); err != nil {
+			return nil, err
 		}
 		s.shards = append(s.shards, d)
 	}
@@ -172,7 +199,7 @@ func OpenReport(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, []core.
 	if len(devs) == 0 {
 		return nil, nil, ErrShardCount
 	}
-	c, err := openCoord(coordDev)
+	c, err := openCoord(coordDev, len(devs))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -181,6 +208,14 @@ func OpenReport(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, []core.
 	reports := make([]core.RecoveryReport, len(devs))
 	maxTxn := c.maxTxn()
 	for i, dev := range devs {
+		idx, cnt, err := readShardStamp(dev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if cnt != len(devs) || idx != i {
+			return nil, nil, fmt.Errorf("%w: device %d stamped shard %d of %d, mounting as shard %d of %d",
+				ErrShardMismatch, i, idx, cnt, i, len(devs))
+		}
 		d, rpt, err := core.OpenReport(dev, p)
 		if err != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
@@ -198,6 +233,51 @@ func OpenReport(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, []core.
 	return s, reports, nil
 }
 
+// Each shard device carries a placement stamp in the reserved tail of
+// its superblock sector: which shard of how many it was formatted as.
+// The stamp sits well past the engine's own superblock encoding (which
+// uses the first few dozen bytes of the 512-byte reserved region), so
+// the engine never sees it, and it is validated on every Open — a
+// reordered or re-counted device set must fail to mount rather than
+// silently misroute ids.
+const (
+	shardStampOff   = 256
+	shardStampMagic = "ARUSHRD\x01"
+)
+
+// stampShard embeds (index, count) into shard device dev's superblock
+// sector, preserving the engine superblock around it.
+func stampShard(dev disk.Disk, index, count int) error {
+	sec := make([]byte, disk.SectorSize)
+	if err := dev.ReadAt(sec, 0); err != nil {
+		return fmt.Errorf("shard %d: reading superblock for placement stamp: %w", index, err)
+	}
+	p := sec[shardStampOff:]
+	copy(p, shardStampMagic)
+	binary.LittleEndian.PutUint32(p[8:], uint32(index))
+	binary.LittleEndian.PutUint32(p[12:], uint32(count))
+	binary.LittleEndian.PutUint32(p[16:], crc32.ChecksumIEEE(p[:16]))
+	if err := dev.WriteAt(sec, 0); err != nil {
+		return fmt.Errorf("shard %d: writing placement stamp: %w", index, err)
+	}
+	return dev.Sync()
+}
+
+// readShardStamp reads and validates the placement stamp of a shard
+// device.
+func readShardStamp(dev disk.Disk) (index, count int, err error) {
+	sec := make([]byte, disk.SectorSize)
+	if err := dev.ReadAt(sec, 0); err != nil {
+		return 0, 0, err
+	}
+	p := sec[shardStampOff:]
+	if string(p[:8]) != shardStampMagic ||
+		crc32.ChecksumIEEE(p[:16]) != binary.LittleEndian.Uint32(p[16:]) {
+		return 0, 0, fmt.Errorf("%w: device carries no placement stamp (not formatted as part of a shard set)", ErrShardMismatch)
+	}
+	return int(binary.LittleEndian.Uint32(p[8:])), int(binary.LittleEndian.Uint32(p[12:])), nil
+}
+
 // Shards returns the number of shards.
 func (s *Disk) Shards() int { return len(s.shards) }
 
@@ -205,12 +285,31 @@ func (s *Disk) Shards() int { return len(s.shards) }
 func (s *Disk) Shard(i int) *core.LLD { return s.shards[i] }
 
 // Routing: external id e ↔ (shard, local id). The arithmetic is the
-// whole directory — both directions are pure functions of the id.
+// whole directory — both directions are pure functions of the id. It
+// is defined on allocated ids only: the zero id (NilBlock/NilList)
+// would underflow to shard (2^64-1) mod N, so every routed operation
+// rejects it first (checkBlock/checkList).
 
 func (s *Disk) shardOf(e uint64) int    { return int((e - 1) % uint64(len(s.shards))) }
 func (s *Disk) localOf(e uint64) uint64 { return (e-1)/uint64(len(s.shards)) + 1 }
 func (s *Disk) extOf(local uint64, shard int) uint64 {
 	return (local-1)*uint64(len(s.shards)) + uint64(shard) + 1
+}
+
+// checkBlock rejects the nil/zero block id before routing.
+func checkBlock(b BlockID) error {
+	if b == core.NilBlock {
+		return fmt.Errorf("%w: %d", core.ErrNoSuchBlock, b)
+	}
+	return nil
+}
+
+// checkList rejects the nil/zero list id before routing.
+func checkList(l ListID) error {
+	if l == core.NilList {
+		return fmt.Errorf("%w: %d", core.ErrNoSuchList, l)
+	}
+	return nil
 }
 
 // ShardOfBlock returns the shard block b lives on (routing is public
@@ -253,6 +352,9 @@ func (s *Disk) localARU(aru ARUID, i int, create bool) (ARUID, error) {
 
 // Read implements the LD surface by routing on the block id.
 func (s *Disk) Read(aru ARUID, b BlockID, dst []byte) error {
+	if err := checkBlock(b); err != nil {
+		return err
+	}
 	i := s.shardOf(uint64(b))
 	la, err := s.localARU(aru, i, false)
 	if err != nil {
@@ -264,6 +366,9 @@ func (s *Disk) Read(aru ARUID, b BlockID, dst []byte) error {
 // Write routes on the block id; a unit's first write to a shard opens
 // its local ARU there.
 func (s *Disk) Write(aru ARUID, b BlockID, data []byte) error {
+	if err := checkBlock(b); err != nil {
+		return err
+	}
 	i := s.shardOf(uint64(b))
 	la, err := s.localARU(aru, i, true)
 	if err != nil {
@@ -275,6 +380,9 @@ func (s *Disk) Write(aru ARUID, b BlockID, data []byte) error {
 // NewBlock allocates on the shard of lst (blocks are co-located with
 // their list) and returns the external id.
 func (s *Disk) NewBlock(aru ARUID, lst ListID, pred BlockID) (BlockID, error) {
+	if err := checkList(lst); err != nil {
+		return 0, err
+	}
 	i := s.shardOf(uint64(lst))
 	if pred != core.NilBlock && s.shardOf(uint64(pred)) != i {
 		return 0, fmt.Errorf("%w: %d", core.ErrNotMember, pred)
@@ -311,6 +419,9 @@ func (s *Disk) NewList(aru ARUID) (ListID, error) {
 
 // DeleteBlock routes on the block id.
 func (s *Disk) DeleteBlock(aru ARUID, b BlockID) error {
+	if err := checkBlock(b); err != nil {
+		return err
+	}
 	i := s.shardOf(uint64(b))
 	la, err := s.localARU(aru, i, true)
 	if err != nil {
@@ -321,6 +432,9 @@ func (s *Disk) DeleteBlock(aru ARUID, b BlockID) error {
 
 // DeleteList routes on the list id.
 func (s *Disk) DeleteList(aru ARUID, lst ListID) error {
+	if err := checkList(lst); err != nil {
+		return err
+	}
 	i := s.shardOf(uint64(lst))
 	la, err := s.localARU(aru, i, true)
 	if err != nil {
@@ -332,6 +446,12 @@ func (s *Disk) DeleteList(aru ARUID, lst ListID) error {
 // MoveBlock moves within one shard; a cross-shard move would change
 // the block's home engine and is rejected.
 func (s *Disk) MoveBlock(aru ARUID, b BlockID, lst ListID, pred BlockID) error {
+	if err := checkBlock(b); err != nil {
+		return err
+	}
+	if err := checkList(lst); err != nil {
+		return err
+	}
 	i := s.shardOf(uint64(b))
 	if s.shardOf(uint64(lst)) != i {
 		return fmt.Errorf("%w: block %d, list %d", ErrCrossShardMove, b, lst)
@@ -353,6 +473,9 @@ func (s *Disk) MoveBlock(aru ARUID, b BlockID, lst ListID, pred BlockID) error {
 // ListBlocks routes on the list id and translates the members back to
 // external ids.
 func (s *Disk) ListBlocks(aru ARUID, lst ListID) ([]BlockID, error) {
+	if err := checkList(lst); err != nil {
+		return nil, err
+	}
 	i := s.shardOf(uint64(lst))
 	la, err := s.localARU(aru, i, false)
 	if err != nil {
@@ -391,6 +514,9 @@ func (s *Disk) Lists(aru ARUID) ([]ListID, error) {
 
 // StatBlock routes on the block id.
 func (s *Disk) StatBlock(aru ARUID, b BlockID) (core.BlockInfo, error) {
+	if err := checkBlock(b); err != nil {
+		return core.BlockInfo{}, err
+	}
 	i := s.shardOf(uint64(b))
 	la, err := s.localARU(aru, i, false)
 	if err != nil {
@@ -448,7 +574,16 @@ func (s *Disk) forEachShard(fn func(d *core.LLD) error) error {
 // in-doubt prepare, so no recovery will ever ask about the logged
 // transactions again. Fails (leaving the log intact) while any ARU is
 // open, as a single engine's checkpoint does.
+//
+// The whole sequence runs under the commit gate held exclusively: a
+// per-shard open-ARU check alone would not stop a full 2PC commit from
+// landing between shard i's checkpoint and the reset, whose commit
+// record the reset would then erase while shard i's replay window still
+// held the prepare — a crash would presume-abort the unit there but
+// keep it on any shard checkpointed after the commit.
 func (s *Disk) Checkpoint() error {
+	s.ckpt.Lock()
+	defer s.ckpt.Unlock()
 	for i, d := range s.shards {
 		if err := d.Checkpoint(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)

@@ -519,3 +519,251 @@ func TestUnknownARU(t *testing.T) {
 		t.Errorf("Write(99): got %v, want ErrNoSuchARU", err)
 	}
 }
+
+func TestZeroIDRejected(t *testing.T) {
+	// The routing arithmetic is undefined on the zero id (it would
+	// underflow to shard (2^64-1) mod N); every routed operation must
+	// reject it cleanly instead.
+	r := newRig(t, 3, Options{})
+	defer r.d.Close()
+	d := r.d
+	buf := make([]byte, d.BlockSize())
+	if err := d.Read(0, core.NilBlock, buf); !errors.Is(err, core.ErrNoSuchBlock) {
+		t.Errorf("Read(0): got %v, want ErrNoSuchBlock", err)
+	}
+	if err := d.Write(0, core.NilBlock, buf); !errors.Is(err, core.ErrNoSuchBlock) {
+		t.Errorf("Write(0): got %v, want ErrNoSuchBlock", err)
+	}
+	if err := d.DeleteBlock(0, core.NilBlock); !errors.Is(err, core.ErrNoSuchBlock) {
+		t.Errorf("DeleteBlock(0): got %v, want ErrNoSuchBlock", err)
+	}
+	if _, err := d.StatBlock(0, core.NilBlock); !errors.Is(err, core.ErrNoSuchBlock) {
+		t.Errorf("StatBlock(0): got %v, want ErrNoSuchBlock", err)
+	}
+	if err := d.MoveBlock(0, core.NilBlock, 1, core.NilBlock); !errors.Is(err, core.ErrNoSuchBlock) {
+		t.Errorf("MoveBlock(block 0): got %v, want ErrNoSuchBlock", err)
+	}
+	if _, err := d.NewBlock(0, core.NilList, core.NilBlock); !errors.Is(err, core.ErrNoSuchList) {
+		t.Errorf("NewBlock(list 0): got %v, want ErrNoSuchList", err)
+	}
+	if err := d.DeleteList(0, core.NilList); !errors.Is(err, core.ErrNoSuchList) {
+		t.Errorf("DeleteList(0): got %v, want ErrNoSuchList", err)
+	}
+	if _, err := d.ListBlocks(0, core.NilList); !errors.Is(err, core.ErrNoSuchList) {
+		t.Errorf("ListBlocks(0): got %v, want ErrNoSuchList", err)
+	}
+	b, err := d.NewBlock(0, mustList(t, d), core.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MoveBlock(0, b, core.NilList, core.NilBlock); !errors.Is(err, core.ErrNoSuchList) {
+		t.Errorf("MoveBlock(list 0): got %v, want ErrNoSuchList", err)
+	}
+}
+
+func mustList(t *testing.T, d *Disk) ListID {
+	t.Helper()
+	l, err := d.NewList(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFormatErasesStaleCoordRecords(t *testing.T) {
+	// Re-formatting a device that held an older coordinator log must
+	// leave no CRC-valid record anywhere past the append point: the
+	// open-time scan stops at the first invalid sector, so once the new
+	// log fills slot 0 a stale record at slot 1 would be scanned as
+	// committed and could wrongly resolve an in-doubt prepare whose txn
+	// id collides with it.
+	dev := disk.NewMem(CoordBytes(8))
+	c, err := formatCoord(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for txn := uint64(5); txn <= 7; txn++ {
+		if err := c.commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := formatCoord(dev, 2); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := openCoord(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.used(); got != 0 {
+		t.Fatalf("re-formatted log scans %d records, want 0", got)
+	}
+	// Fill slot 0 of the new log; slots 1 and 2 once held txns 6 and 7.
+	if err := fresh.commit(1); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := openCoord(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.used(); got != 1 {
+		t.Errorf("log scans %d records, want 1", got)
+	}
+	if !reopened.has(1) {
+		t.Errorf("fresh record for txn 1 missing")
+	}
+	for txn := uint64(5); txn <= 7; txn++ {
+		if reopened.has(txn) {
+			t.Errorf("stale record for txn %d survived the re-format", txn)
+		}
+	}
+}
+
+func TestOpenValidatesShardPlacement(t *testing.T) {
+	// Routing is pure id arithmetic over the device count and order:
+	// mounting a shard set with a different count or reordered devices
+	// must fail rather than silently misroute every id.
+	o := Options{}
+	r := newRig(t, 3, o)
+	l0, l1 := twoShardLists(t, r.d)
+	b, err := r.d.NewBlock(0, l0, core.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.Write(0, b, bytes.Repeat([]byte{7}, r.d.BlockSize())); err != nil {
+		t.Fatal(err)
+	}
+	_ = l1
+	if err := r.d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong device count: the coordinator header catches it.
+	two := []disk.Disk{r.devs[0].Recycle(), r.devs[1].Recycle()}
+	if _, err := Open(two, r.coord.Recycle(), o); !errors.Is(err, ErrShardMismatch) {
+		t.Errorf("open with 2 of 3 devices: got %v, want ErrShardMismatch", err)
+	}
+
+	// Reordered devices: the per-device placement stamps catch it.
+	swapped := []disk.Disk{r.devs[1].Recycle(), r.devs[0].Recycle(), r.devs[2].Recycle()}
+	if _, err := Open(swapped, r.coord.Recycle(), o); !errors.Is(err, ErrShardMismatch) {
+		t.Errorf("open with reordered devices: got %v, want ErrShardMismatch", err)
+	}
+
+	// An unstamped device (a bare single-engine image) is rejected too.
+	lone := disk.NewMem(testLayout().DiskBytes())
+	if _, err := core.Format(lone, core.Params{Layout: testLayout()}); err != nil {
+		t.Fatal(err)
+	}
+	mixed := []disk.Disk{lone, r.devs[1].Recycle(), r.devs[2].Recycle()}
+	if _, err := Open(mixed, r.coord.Recycle(), o); !errors.Is(err, ErrShardMismatch) {
+		t.Errorf("open with an unstamped device: got %v, want ErrShardMismatch", err)
+	}
+
+	// The correct placement still mounts, state intact.
+	var devs []disk.Disk
+	for _, dev := range r.devs {
+		devs = append(devs, dev.Recycle())
+	}
+	d, err := Open(devs, r.coord.Recycle(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := make([]byte, d.BlockSize())
+	if err := d.Read(0, b, buf); err != nil || buf[0] != 7 {
+		t.Errorf("Read after correct remount: err=%v buf[0]=%d", err, buf[0])
+	}
+}
+
+func TestCheckpointCommitBarrier(t *testing.T) {
+	// Checkpoint must be a barrier against concurrent 2PC commits: a
+	// commit landing between one shard's checkpoint and the coordinator
+	// reset would have its commit record erased while its prepare still
+	// sat in that shard's post-checkpoint replay window, so a crash
+	// would keep the unit on one shard and presume-abort it on another.
+	// Hammer checkpoints against a committer, then crash and verify
+	// every acknowledged unit survived whole.
+	o := Options{}
+	r := newRig(t, 2, o)
+	d := r.d
+	l0, l1 := twoShardLists(t, d)
+	type acked struct {
+		b0, b1  BlockID
+		payload byte
+	}
+	var oks []acked
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < 64; n++ {
+			payload := byte(n + 1)
+			a, err := d.BeginARU()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b0, err := d.NewBlock(a, l0, core.NilBlock)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b1, err := d.NewBlock(a, l1, core.NilBlock)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := bytes.Repeat([]byte{payload}, d.BlockSize())
+			if err := d.Write(a, b0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.Write(a, b1, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.EndARU(a); err != nil {
+				// The 64-slot coordinator filled between successful
+				// checkpoints; the unit aborted cleanly.
+				if !errors.Is(err, ErrCoordFull) {
+					t.Error(err)
+					return
+				}
+				continue
+			}
+			oks = append(oks, acked{b0, b1, payload})
+		}
+	}()
+	for {
+		select {
+		case <-done:
+		default:
+			// Most attempts fail while the committer's unit is open —
+			// only the gaps between units can checkpoint. Keep trying.
+			_ = d.Checkpoint()
+			continue
+		}
+		break
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(oks) == 0 {
+		t.Fatal("no unit committed")
+	}
+	r.recycle(t, o)
+	defer r.d.Close()
+	buf := make([]byte, r.d.BlockSize())
+	for _, u := range oks {
+		for _, b := range []BlockID{u.b0, u.b1} {
+			if err := r.d.Read(0, b, buf); err != nil {
+				t.Fatalf("acked unit (payload %d): block %d lost after crash: %v", u.payload, b, err)
+			}
+			if buf[0] != u.payload {
+				t.Fatalf("acked unit (payload %d): block %d holds %d after crash", u.payload, b, buf[0])
+			}
+		}
+	}
+}

@@ -89,6 +89,16 @@ func (s *Disk) EndARUTraced(aru ARUID, sc obs.SpanContext) error {
 // commitCrossShard runs the two-phase protocol over the unit's
 // participants, in first-touch order.
 func (s *Disk) commitCrossShard(aru ARUID, u *unit, sc obs.SpanContext) error {
+	// Shared side of the checkpoint barrier: the whole 2PC commit —
+	// prepare, coordinator record, apply — must not interleave with
+	// Checkpoint's checkpoint-every-shard-then-reset sequence (see
+	// Disk.Checkpoint). The fast path needs no gate: a single-shard
+	// unit writes no prepare and no coordinator record, and its open
+	// local ARU already makes a concurrent engine checkpoint refuse.
+	// The gap between take and this acquire is likewise covered by the
+	// participants' open locals.
+	s.ckpt.RLock()
+	defer s.ckpt.RUnlock()
 	txn := s.nextTxn.Add(1) - 1
 	var (
 		t0     time.Duration
