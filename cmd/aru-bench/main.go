@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit|shard]
+//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit|shard|recovery]
 //	          [-scale N] [-verify] [-csv] [-json out.json]
 //	          [-metrics-addr :6060] [-trace-out trace.json]
 //	aru-bench -connect HOST:PORT [-net-ops N] [-trace-out trace.json]
@@ -28,6 +28,13 @@
 // gate. -workload skew swaps in the Zipf hot-key workload (keys route
 // to shards through their lists) and reports the per-shard ops/s
 // split; under -exp all both workloads run.
+//
+// -exp recovery measures mount time against the size of the log tail
+// beyond the newest checkpoint, from a full-log scan down to a few
+// percent, with the parallel summary scan and a single worker.
+// -recovery-max-ratio turns the sweep into an O(delta) gate: the
+// smallest-tail mount must cost at most that fraction of the full
+// scan.
 //
 // -connect skips the simulated experiments and instead drives a remote
 // logical disk served by aru-serve with the mixed-ARU workload
@@ -54,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit, shard")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit, shard, recovery")
 	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
 	verify := flag.Bool("verify", false, "verify payloads during read phases")
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
@@ -72,6 +79,7 @@ func main() {
 	shardMinScale := flag.Float64("shard-min-scale", 0, "shard: fail unless aggregate throughput at -shards over 1 shard reaches this (0 = report only)")
 	shardMaxOverhead := flag.Float64("shard-max-overhead", 0, "shard: fail if the single-shard fast path is slower than the bare engine by more than this fraction (0 = report only)")
 	workloadName := flag.String("workload", "uniform", "shard: committer workload — uniform (pinned shard-local units) or skew (Zipf hot keys)")
+	recMaxRatio := flag.Float64("recovery-max-ratio", 0, "recovery: fail unless the smallest-delta mount takes at most this fraction of the full-scan baseline (0 = report only)")
 	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
 	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
 	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace JSON to this file")
@@ -237,6 +245,19 @@ func main() {
 				return fmt.Errorf("single-shard fast path %.1f%% slower than the bare engine, above the ceiling of %.1f%%",
 					fp.Overhead()*100, *shardMaxOverhead*100)
 			}
+		}
+		return nil
+	})
+
+	run("recovery", func() error {
+		res, err := harness.RunRecoverySweep(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatRecovery(res))
+		report.AddRecovery(res)
+		if *recMaxRatio > 0 {
+			return harness.RecoveryGate(res, *recMaxRatio)
 		}
 		return nil
 	})

@@ -11,13 +11,20 @@
 // the oracle checking cross-shard all-or-nothing atomicity through
 // full multi-shard recovery.
 //
+// With -recover-crash it additionally crashes recovery itself: for a
+// sampled subset of clean crash states, the first recovery's device
+// writes are journaled and sub-enumerated, and every double-crash
+// image must re-recover clean. The net workload drives the engine
+// through an ldnet client/server pair, with durability judged by the
+// acks the client received before the crash.
+//
 // Usage:
 //
 //	aru-crashcheck [-seed N] [-seeds N] [-states N] [-reorder-window N]
-//	               [-workloads mixed,fs,shard] [-fs] [-shards N]
-//	               [-min-states N] [-conc N]
-//	               [-inject none|nosync|untagged-replay|ack-early|commit-before-prepare-sync]
-//	               [-replay E<e>K<k>[D...][T...] | -replay G<g>/E..K../...] [-v]
+//	               [-workloads mixed,fs,shard,net] [-fs] [-shards N]
+//	               [-min-states N] [-conc N] [-recover-crash]
+//	               [-inject none|nosync|untagged-replay|ack-early|torn-delta|commit-before-prepare-sync]
+//	               [-replay E<e>K<k>[D...][T...][+RE..K..] | -replay G<g>/E..K../...] [-v]
 package main
 
 import (
@@ -35,13 +42,15 @@ func main() {
 		seeds     = flag.Int("seeds", 24, "number of consecutive seeds to run")
 		states    = flag.Int("states", 0, "max distinct crash states to explore (0 = unlimited)")
 		window    = flag.Int("reorder-window", 3, "reordering window within the crash epoch")
-		workloads = flag.String("workloads", "mixed,fs", "comma-separated workloads: mixed, fs, shard")
+		workloads = flag.String("workloads", "mixed,fs", "comma-separated workloads: mixed, fs, shard, net")
 		fsOnly    = flag.Bool("fs", false, "shorthand for -workloads fs")
 		shards    = flag.Int("shards", 0, "shard count for the sharded 2PC workload; >0 implies -workloads shard")
 		minStates = flag.Int("min-states", 0, "fail unless at least this many distinct states were explored")
 		conc      = flag.Int("conc", 0, "mixed-workload concurrent committers per group-commit phase (0 = sequential scripts)")
-		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay, ack-early, commit-before-prepare-sync (shard workload)")
-		replay    = flag.String("replay", "", "replay one crash state descriptor (requires a single workload and seed)")
+		inject    = flag.String("inject", "none", "deliberate engine bug to validate the oracle: none, nosync, untagged-replay, ack-early, torn-delta, commit-before-prepare-sync (shard workload)")
+		recCrash  = flag.Bool("recover-crash", false, "also crash recovery itself on a sampled subset of clean states and re-check")
+		recSample = flag.Int("recover-sample", 0, "reciprocal sampling rate for -recover-crash (default 16)")
+		replay    = flag.String("replay", "", "replay one crash state descriptor (requires a single workload and seed); outer+RE..K.. replays a recovery re-crash")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
@@ -53,6 +62,8 @@ func main() {
 		ReorderWindow: *window,
 		Inject:        *inject,
 		Shards:        *shards,
+		RecoverCrash:  *recCrash,
+		RecoverSample: *recSample,
 	}
 	o.MixedParams.ConcFlushers = *conc
 	if *fsOnly {
@@ -69,6 +80,8 @@ func main() {
 			o.FS = true
 		case "shard":
 			o.Shard = true
+		case "net":
+			o.Net = true
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "aru-crashcheck: unknown workload %q\n", w)
@@ -103,25 +116,43 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		cs, err := crashenum.ParseState(*replay)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
-			os.Exit(2)
-		}
 		kind := "mixed"
-		if o.FS && !o.Mixed {
+		switch {
+		case o.FS && !o.Mixed && !o.Net:
 			kind = "fs"
+		case o.Net && !o.Mixed && !o.FS:
+			kind = "net"
 		}
-		viols, err := crashenum.Replay(kind, *seed, o, cs)
+		desc, subDesc, isRecover := strings.Cut(*replay, "+R")
+		cs, err := crashenum.ParseState(desc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
 			os.Exit(2)
+		}
+		var viols []string
+		if isRecover {
+			sub, err := crashenum.ParseState(subDesc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
+				os.Exit(2)
+			}
+			viols, err = crashenum.ReplayRecoverCrash(kind, *seed, o, cs, sub)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
+				os.Exit(2)
+			}
+		} else {
+			viols, err = crashenum.Replay(kind, *seed, o, cs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aru-crashcheck:", err)
+				os.Exit(2)
+			}
 		}
 		if len(viols) == 0 {
-			fmt.Printf("replay %s seed=%d %s: clean\n", kind, *seed, cs)
+			fmt.Printf("replay %s seed=%d %s: clean\n", kind, *seed, *replay)
 			return
 		}
-		fmt.Printf("replay %s seed=%d %s: %d violations\n", kind, *seed, cs, len(viols))
+		fmt.Printf("replay %s seed=%d %s: %d violations\n", kind, *seed, *replay, len(viols))
 		for _, v := range viols {
 			fmt.Println("  ", v)
 		}

@@ -39,6 +39,10 @@ func main() {
 	}
 	fmt.Printf("recovery: checkpoint ts %d, %d segments replayed, %d entries\n",
 		rpt.CheckpointTS, rpt.SegmentsReplayed, rpt.EntriesReplayed)
+	fmt.Printf("checkpoint chain: depth %d, %d delta pages materialized\n",
+		rpt.DeltaChainDepth, rpt.DeltaPagesReplayed)
+	fmt.Printf("scan: %d workers, %d redo entries skipped by version bounds\n",
+		rpt.ScanWorkers, rpt.RedoSkipped)
 	fmt.Printf("ARUs: %d recovered, %d dropped (uncommitted at crash)\n",
 		rpt.ARUsRecovered, rpt.ARUsDropped)
 	fmt.Printf("leak sweep: %d blocks freed\n", rpt.LeakedFreed)

@@ -64,14 +64,7 @@ func main() {
 		if off+layout.CkptRegionBytes() > int64(len(img)) {
 			fatal(fmt.Errorf("image truncated before checkpoint region %d", i))
 		}
-		ck, err := seg.DecodeCheckpoint(img[off : off+layout.CkptRegionBytes()])
-		if err != nil {
-			fmt.Printf("checkpoint %d: invalid (%v)\n", i, err)
-			continue
-		}
-		fmt.Printf("checkpoint %d: ts %d, flushed seq %d, %d blocks, %d lists, next ts/block/list/aru %d/%d/%d/%d\n",
-			i, ck.CkptTS, ck.FlushedSeq, len(ck.Blocks), len(ck.Lists),
-			ck.NextTS, ck.NextBlock, ck.NextList, ck.NextARU)
+		printCkptRegion("", i, img[off:off+layout.CkptRegionBytes()])
 	}
 
 	fmt.Println("segments:")
@@ -117,6 +110,39 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// printCkptRegion dumps one checkpoint region as an incremental chain:
+// the materialized head summary, then each record (base or delta) with
+// its upsert and deletion counts. Legacy v1 single-snapshot regions
+// print as a one-record legacy chain.
+func printCkptRegion(indent string, i int, region []byte) {
+	ch, err := seg.DecodeCkptChain(region)
+	if err != nil {
+		fmt.Printf("%scheckpoint %d: invalid (%v)\n", indent, i, err)
+		return
+	}
+	head := ch.Head()
+	kind := "v2 chain"
+	if ch.Legacy {
+		kind = "legacy v1"
+	}
+	ck := ch.Materialize()
+	fmt.Printf("%scheckpoint %d: %s, head ts %d, depth %d, flushed seq %d, %d blocks, %d lists, next ts/block/list/aru %d/%d/%d/%d\n",
+		indent, i, kind, head.CkptTS, ch.Depth(), head.FlushedSeq, len(ck.Blocks), len(ck.Lists),
+		head.NextTS, head.NextBlock, head.NextList, head.NextARU)
+	if ch.Legacy {
+		return
+	}
+	for j, r := range ch.Recs {
+		typ := "delta"
+		if r.Base {
+			typ = "base"
+		}
+		fmt.Printf("%s  rec %d: %-5s ts %-8d prev %-8d +%d/+%d upserts -%d/-%d deletions (blocks/lists, %d B)\n",
+			indent, j, typ, r.CkptTS, r.PrevTS,
+			len(r.Blocks), len(r.Lists), len(r.DelBlocks), len(r.DelLists), r.WireBytes())
+	}
+}
+
 // inspectShardDir inspects a sharded image directory: per-shard
 // superblocks and checkpoints, the coordinator log, and with -stats
 // per-shard recovery timelines plus the merged statistics of the
@@ -149,13 +175,7 @@ func inspectShardDir(dir string, tables, stats bool) {
 			layout.MaxBlocks, layout.MaxLists)
 		for c := 0; c < 2; c++ {
 			off := layout.CkptOff(c)
-			ck, err := seg.DecodeCheckpoint(img[off : off+layout.CkptRegionBytes()])
-			if err != nil {
-				fmt.Printf("  checkpoint %d: invalid (%v)\n", c, err)
-				continue
-			}
-			fmt.Printf("  checkpoint %d: ts %d, flushed seq %d, %d blocks, %d lists\n",
-				c, ck.CkptTS, ck.FlushedSeq, len(ck.Blocks), len(ck.Lists))
+			printCkptRegion("  ", c, img[off:off+layout.CkptRegionBytes()])
 		}
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aru/internal/obs"
@@ -110,6 +111,19 @@ func (d *LLD) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
+// checkpointLocked writes the next record of the incremental
+// checkpoint chain (DESIGN.md §15): normally a delta carrying only the
+// block/list records dirtied since the previous checkpoint, appended
+// to the current region's chain; a full base in the other region when
+// the chain grows past Params.CkptCompactEvery, when the region has no
+// room left, or when the mounted image predates the chain format.
+//
+// Publication is atomic by construction: the record is CRC-protected
+// and linked to its predecessor by PrevTS, so recovery either sees the
+// whole record or cuts the chain before it — and only after the record
+// is synced does the checkpoint watermark (ckptSeq) advance and unlock
+// segment reuse. That sync is the publish barrier; skipping it is the
+// torn-delta bug (Params.UnsafeTornDeltaPublish).
 func (d *LLD) checkpointLocked() error {
 	if len(d.arus) != 0 {
 		return fmt.Errorf("%w: cannot checkpoint with %d open ARUs", ErrARUActive, len(d.arus))
@@ -137,51 +151,130 @@ func (d *LLD) checkpointLocked() error {
 	d.devDirty = false
 	d.syncSeq++
 	d.commitsDurable()
-	ck := seg.Checkpoint{
+
+	rec := seg.CkptRec{
 		CkptTS:     d.ckptTS + 1,
 		FlushedSeq: d.nextSeq - 1,
 		NextTS:     d.ts,
 		NextBlock:  d.nextBlk,
 		NextList:   d.nextLst,
 		NextARU:    d.nextARU,
-		Blocks:     make([]seg.BlockRec, 0, len(d.blocks)),
-		Lists:      make([]seg.ListRec, 0, len(d.lists)),
 	}
-	for id, e := range d.blocks {
-		if e.persist == nil {
-			return fmt.Errorf("lld: internal: block %d has no persistent version at checkpoint", id)
+	base := d.ckptForceBase || d.params.CkptCompactEvery < 0 || d.ckptDepth >= d.params.CkptCompactEvery
+	if !base {
+		// Build the delta from the dirty sets: a dirty identifier still
+		// present in the tables is an upsert, a vanished one a deletion.
+		for id := range d.dirtyBlocks {
+			e, ok := d.blocks[id]
+			if !ok || e.persist == nil {
+				rec.DelBlocks = append(rec.DelBlocks, id)
+				continue
+			}
+			rec.Blocks = append(rec.Blocks, *e.persist)
 		}
-		ck.Blocks = append(ck.Blocks, *e.persist)
-	}
-	for id, e := range d.lists {
-		if e.persist == nil {
-			return fmt.Errorf("lld: internal: list %d has no persistent version at checkpoint", id)
+		for id := range d.dirtyLists {
+			e, ok := d.lists[id]
+			if !ok || e.persist == nil {
+				rec.DelLists = append(rec.DelLists, id)
+				continue
+			}
+			rec.Lists = append(rec.Lists, *e.persist)
 		}
-		ck.Lists = append(ck.Lists, *e.persist)
+		if len(rec.Blocks) == 0 && len(rec.Lists) == 0 &&
+			len(rec.DelBlocks) == 0 && len(rec.DelLists) == 0 &&
+			rec.FlushedSeq == d.ckptSeq {
+			// Nothing changed since the previous checkpoint: the chain
+			// head already covers the whole flushed log.
+			d.segsSinceC = 0
+			return nil
+		}
+		rec.PrevTS = d.ckptTS
+		sortCkptRec(&rec)
+		if d.ckptChainOff+rec.WireBytes() > d.params.Layout.CkptRegionBytes() {
+			base = true // no room left in the region: compact early
+		}
 	}
-	ck.SortTables()
-	buf, err := seg.EncodeCheckpoint(d.params.Layout, ck)
+	if base {
+		rec.PrevTS = 0
+		rec.Base = true
+		rec.Blocks = rec.Blocks[:0]
+		rec.Lists = rec.Lists[:0]
+		rec.DelBlocks, rec.DelLists = nil, nil
+		for id, e := range d.blocks {
+			if e.persist == nil {
+				return fmt.Errorf("lld: internal: block %d has no persistent version at checkpoint", id)
+			}
+			rec.Blocks = append(rec.Blocks, *e.persist)
+		}
+		for id, e := range d.lists {
+			if e.persist == nil {
+				return fmt.Errorf("lld: internal: list %d has no persistent version at checkpoint", id)
+			}
+			rec.Lists = append(rec.Lists, *e.persist)
+		}
+		sortCkptRec(&rec)
+	}
+	buf, err := seg.EncodeCkptRec(d.params.Layout, rec)
 	if err != nil {
 		return fmt.Errorf("lld: encoding checkpoint: %w", err)
 	}
-	if err := d.dev.WriteAt(buf, d.params.Layout.CkptOff(d.ckptSlot)); err != nil {
+	region, off := d.ckptRegion, d.ckptChainOff
+	if base {
+		region, off = 1-d.ckptRegion, 0
+	}
+	if err := d.dev.WriteAt(buf, d.params.Layout.CkptOff(region)+off); err != nil {
 		return fmt.Errorf("lld: writing checkpoint: %w", err)
 	}
-	if err := d.dev.Sync(); err != nil {
-		return fmt.Errorf("lld: sync after checkpoint: %w", err)
+	if !d.params.UnsafeTornDeltaPublish {
+		// Publish barrier: the record must be durable before the
+		// watermark advance below lets its replay window be reused.
+		if err := d.dev.Sync(); err != nil {
+			return fmt.Errorf("lld: sync after checkpoint: %w", err)
+		}
+		d.devDirty = false
+		d.syncSeq++
 	}
-	d.devDirty = false
-	d.syncSeq++
-	d.ckptSlot = 1 - d.ckptSlot
-	d.ckptTS = ck.CkptTS
-	d.ckptSeq = ck.FlushedSeq
+	oldDepth := d.ckptDepth
+	if base {
+		d.ckptRegion = region
+		d.ckptChainOff = int64(len(buf))
+		d.ckptDepth = 0
+		d.ckptForceBase = false
+	} else {
+		d.ckptChainOff += int64(len(buf))
+		d.ckptDepth++
+	}
+	d.ckptTS = rec.CkptTS
+	d.ckptSeq = rec.FlushedSeq
+	clear(d.dirtyBlocks)
+	clear(d.dirtyLists)
 	d.segsSinceC = 0
 	d.stats.Checkpoints.Add(1)
+	if !base {
+		d.stats.CkptDeltas.Add(1)
+	}
 	if d.obs != nil {
-		d.obs.ObserveSince(obs.HistCheckpoint, t0)
-		d.obs.Emit(obs.EvCheckpoint, 0, ck.CkptTS, ck.FlushedSeq)
+		if base {
+			d.obs.ObserveSince(obs.HistCheckpoint, t0)
+			if oldDepth > 0 {
+				d.obs.Emit(obs.EvCkptCompact, 0, rec.CkptTS, uint64(oldDepth))
+			}
+		} else {
+			d.obs.ObserveSince(obs.HistCkptDelta, t0)
+			d.obs.Emit(obs.EvCkptDelta, 0, rec.CkptTS, uint64(d.ckptDepth))
+		}
+		d.obs.Emit(obs.EvCheckpoint, 0, rec.CkptTS, rec.FlushedSeq)
 	}
 	return nil
+}
+
+// sortCkptRec puts a chain record's tables into canonical ID order so
+// encodings are deterministic.
+func sortCkptRec(r *seg.CkptRec) {
+	sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].ID < r.Blocks[j].ID })
+	sort.Slice(r.Lists, func(i, j int) bool { return r.Lists[i].ID < r.Lists[j].ID })
+	sort.Slice(r.DelBlocks, func(i, j int) bool { return r.DelBlocks[i] < r.DelBlocks[j] })
+	sort.Slice(r.DelLists, func(i, j int) bool { return r.DelLists[i] < r.DelLists[j] })
 }
 
 // Close flushes, checkpoints if possible (no open ARUs), and marks the

@@ -41,6 +41,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -117,6 +118,18 @@ type Params struct {
 	// segment writes (default 32; negative disables automatic
 	// checkpoints).
 	CheckpointEvery int
+	// CkptCompactEvery bounds the incremental checkpoint chain: once
+	// this many delta records sit on top of the base, the next
+	// checkpoint compacts the chain into a fresh full base in the
+	// other region (default 8; negative writes a full base every
+	// time, i.e. disables incremental checkpoints). A chain whose
+	// region runs out of room compacts early regardless.
+	CkptCompactEvery int
+	// RecoveryWorkers sizes the worker pool that reads and decodes
+	// segment summaries during recovery (default min(GOMAXPROCS, 8);
+	// 1 or negative scans serially). Replay application is always
+	// ordered by segment sequence regardless of the pool size.
+	RecoveryWorkers int
 	// CleanerLowWater triggers cleaning when the number of reusable
 	// segments drops below it (default 8).
 	CleanerLowWater int
@@ -180,6 +193,14 @@ type Params struct {
 	// set it in production. Serial flushes (NoGroupCommit) are not
 	// affected.
 	UnsafeAckBeforeSync bool
+	// UnsafeTornDeltaPublish makes the checkpoint writer skip the
+	// publish barrier: the chain record is written but the checkpoint
+	// watermark (which unlocks segment reuse) advances without
+	// waiting for the record to be durable. A crash can then lose the
+	// record after a replay-window segment was already rewritten —
+	// the torn-delta bug the crash-state checker's `-inject
+	// torn-delta` knob must catch. Never set it in production.
+	UnsafeTornDeltaPublish bool
 
 	// NoGroupCommit disables the group-commit broker: Flush reverts to
 	// the serial path that holds the engine lock across the device
@@ -191,6 +212,15 @@ type Params struct {
 func (p Params) withDefaults() Params {
 	if p.CheckpointEvery == 0 {
 		p.CheckpointEvery = 32
+	}
+	if p.CkptCompactEvery == 0 {
+		p.CkptCompactEvery = 8
+	}
+	if p.RecoveryWorkers == 0 {
+		p.RecoveryWorkers = runtime.GOMAXPROCS(0)
+		if p.RecoveryWorkers > 8 {
+			p.RecoveryWorkers = 8
+		}
 	}
 	if p.CleanerLowWater == 0 {
 		p.CleanerLowWater = 8
@@ -255,6 +285,7 @@ type Stats struct {
 	SegmentsCleaned            int64 // segments reclaimed by the cleaner
 	BlocksRelocated            int64 // live blocks copied by the cleaner
 	Checkpoints                int64
+	CkptDeltas                 int64 // checkpoints written as incremental deltas
 	MergeFallbacks             int64 // commit-replay inserts whose predecessor vanished
 	LeakedBlocksFreed          int64 // blocks freed by the consistency sweep
 	ShadowRecords, AltRecords  int64 // current alternative-record counts (shadow / all)
@@ -339,8 +370,23 @@ type LLD struct {
 	durableTS      uint64 // all entries with TS <= durableTS are on disk
 	ckptSeq        uint64 // FlushedSeq of the newest durable checkpoint
 	ckptTS         uint64 // CkptTS of the newest durable checkpoint
-	ckptSlot       int    // region (0/1) the next checkpoint goes to
 	segsSinceC     int    // segments written since the last checkpoint
+
+	// Incremental checkpoint chain state (DESIGN.md §15). The current
+	// chain (one base + ckptDepth deltas) lives in region ckptRegion;
+	// the next delta appends at ckptChainOff. Compaction writes a
+	// fresh base into the other region and flips ckptRegion.
+	ckptRegion    int
+	ckptChainOff  int64
+	ckptDepth     int
+	ckptForceBase bool // mounted a legacy v1 region: next checkpoint must start a v2 chain
+	// dirtyBlocks and dirtyLists name the identifiers whose persistent
+	// records changed (or were deleted) since the last checkpoint —
+	// exactly the upserts/deletions the next delta record carries.
+	// Marked at every persistent-state mutation (promoteBlock,
+	// promoteList, recovery replay).
+	dirtyBlocks map[BlockID]struct{}
+	dirtyLists  map[ListID]struct{}
 
 	// Per-segment accounting.
 	segSeq    []uint64 // trailer seq per segment (0 = never written)

@@ -335,6 +335,7 @@ func (d *LLD) promote() {
 // removes the persistent version if ab is a deletion) and retires ab.
 func (d *LLD) promoteBlock(ab *altBlock) {
 	d.stats.RecordsPromoted.Add(1)
+	d.dirtyBlocks[ab.id] = struct{}{}
 	e := d.blocks[ab.id]
 	if e.persist != nil && e.persist.HasData {
 		d.segLive[e.persist.Seg]--
@@ -369,6 +370,7 @@ func (d *LLD) promoteBlock(ab *altBlock) {
 // promoteList installs al as the persistent version of its list.
 func (d *LLD) promoteList(al *altList) {
 	d.stats.RecordsPromoted.Add(1)
+	d.dirtyLists[al.id] = struct{}{}
 	e := d.lists[al.id]
 	if al.deleted {
 		e.persist = nil

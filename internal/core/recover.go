@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aru/internal/disk"
@@ -26,8 +27,8 @@ func Format(dev disk.Disk, p Params) (*LLD, error) {
 	if err := dev.WriteAt(seg.EncodeSuper(p.Layout), p.Layout.SuperOff()); err != nil {
 		return nil, fmt.Errorf("lld: writing superblock: %w", err)
 	}
-	ck := seg.Checkpoint{CkptTS: 1, NextTS: 1, NextBlock: 1, NextList: 1, NextARU: 1}
-	buf, err := seg.EncodeCheckpoint(p.Layout, ck)
+	ck := seg.CkptRec{Base: true, CkptTS: 1, NextTS: 1, NextBlock: 1, NextList: 1, NextARU: 1}
+	buf, err := seg.EncodeCkptRec(p.Layout, ck)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +65,13 @@ type RecoveryReport struct {
 	ARUsRecovered    int // ARUs whose commit record was durable
 	ARUsDropped      int // uncommitted/aborted ARUs discarded
 	LeakedFreed      int // blocks freed by the consistency sweep
+
+	// Incremental-checkpoint chain and parallel-scan metrics
+	// (DESIGN.md §15).
+	ScanWorkers        int // worker-pool size used for the summary scan
+	DeltaChainDepth    int // delta records on top of the chain base
+	DeltaPagesReplayed int // table records materialized from delta records
+	RedoSkipped        int // replay entries skipped by the version-bound guards
 
 	// Two-phase commit resolution (cross-shard ARUs, internal/shard).
 	// An in-doubt unit has a durable prepare record but no durable
@@ -123,42 +131,95 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		cache:           newBlockCache(p.CacheBlocks),
 		sealedBySeg:     make(map[uint32]*sealedSeg),
 		reuseQuarantine: make(map[int]int),
+		dirtyBlocks:     make(map[BlockID]struct{}),
+		dirtyLists:      make(map[ListID]struct{}),
 	}
 	d.gc.cond = sync.NewCond(&d.gc.mu)
 
-	ck, slot, err := loadNewestCheckpoint(dev, layout)
+	chain, region, err := loadNewestChain(dev, layout)
 	if err != nil {
 		return nil, RecoveryReport{}, err
 	}
+	ck := chain.Materialize()
 	d.ckptTS = ck.CkptTS
 	d.ckptSeq = ck.FlushedSeq
-	d.ckptSlot = 1 - slot // next checkpoint goes to the other region
+	d.ckptRegion = region
+	d.ckptChainOff = chain.NextOff
+	d.ckptDepth = chain.Depth()
+	d.ckptForceBase = chain.Legacy
 	d.ts = ck.NextTS
 	d.nextBlk = ck.NextBlock
 	d.nextLst = ck.NextList
 	d.nextARU = ck.NextARU
 
 	rt := newRecoveryTables(ck)
-	rpt := RecoveryReport{CheckpointTS: ck.CkptTS}
+	rpt := RecoveryReport{CheckpointTS: ck.CkptTS, DeltaChainDepth: chain.Depth()}
+	for _, r := range chain.Recs[1:] {
+		rpt.DeltaPagesReplayed += len(r.Blocks) + len(r.Lists) + len(r.DelBlocks) + len(r.DelLists)
+	}
 
-	// Scan all segment trailers; replay valid segments beyond the
-	// checkpoint in log (Seq) order.
+	// The summary scan: segment trailers — and then the replay-window
+	// segments themselves — are read and decoded by a worker pool;
+	// replay *application* stays strictly ordered by segment sequence
+	// (DESIGN.md §15: ARU commit gating and list-chain surgery are
+	// order-sensitive across segments, reads and CRC checks are not).
+	workers := p.RecoveryWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > layout.NumSegs {
+		workers = layout.NumSegs
+	}
+	rpt.ScanWorkers = workers
+	var sc0 time.Duration
+	if d.obs != nil {
+		sc0 = d.obs.Now()
+	}
+
 	type liveSeg struct {
 		idx int
 		tr  seg.Trailer
 	}
+	trailers := make([]seg.Trailer, layout.NumSegs)
+	trValid := make([]bool, layout.NumSegs)
+	trErrs := make([]error, layout.NumSegs)
+	var nextTr atomic.Int64
+	var wgTr sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wgTr.Add(1)
+		go func() {
+			defer wgTr.Done()
+			buf := make([]byte, seg.SectorSize)
+			for {
+				s := int(nextTr.Add(1)) - 1
+				if s >= layout.NumSegs {
+					return
+				}
+				off := layout.SegOff(s) + int64(layout.SegBytes) - seg.SectorSize
+				if err := dev.ReadAt(buf, off); err != nil {
+					trErrs[s] = fmt.Errorf("lld: reading trailer of segment %d: %w", s, err)
+					continue
+				}
+				tr, err := seg.DecodeTrailer(buf)
+				if err != nil {
+					continue // never written, wiped, or torn: not part of the log
+				}
+				trailers[s], trValid[s] = tr, true
+			}
+		}()
+	}
+	wgTr.Wait()
+
 	var replay []liveSeg
 	maxSeq := ck.FlushedSeq
-	trBuf := make([]byte, seg.SectorSize)
 	for s := 0; s < layout.NumSegs; s++ {
-		off := layout.SegOff(s) + int64(layout.SegBytes) - seg.SectorSize
-		if err := dev.ReadAt(trBuf, off); err != nil {
-			return nil, RecoveryReport{}, fmt.Errorf("lld: reading trailer of segment %d: %w", s, err)
+		if trErrs[s] != nil {
+			return nil, RecoveryReport{}, trErrs[s]
 		}
-		tr, err := seg.DecodeTrailer(trBuf)
-		if err != nil {
-			continue // never written, wiped, or torn: not part of the log
+		if !trValid[s] {
+			continue
 		}
+		tr := trailers[s]
 		d.segSeq[s] = tr.Seq
 		if tr.Seq > maxSeq {
 			maxSeq = tr.Seq
@@ -187,41 +248,115 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		expect++
 	}
 
-	segBuf := make([]byte, layout.SegBytes)
-	for _, ls := range replay {
+	// Read + decode every window segment through the pool; apply in
+	// sequence order, pipelined — segment k applies while k+1… are
+	// still being read. The happens-before edge is the per-slot
+	// channel close.
+	type segScan struct {
+		entries []seg.Entry
+		readErr error
+		corrupt bool
+	}
+	scans := make([]segScan, len(replay))
+	ready := make([]chan struct{}, len(replay))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var nextSeg atomic.Int64
+	var wgSeg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wgSeg.Add(1)
+		go func() {
+			defer wgSeg.Done()
+			buf := make([]byte, layout.SegBytes)
+			for {
+				i := int(nextSeg.Add(1)) - 1
+				if i >= len(replay) {
+					return
+				}
+				ls := replay[i]
+				if err := dev.ReadAt(buf, layout.SegOff(ls.idx)); err != nil {
+					scans[i].readErr = fmt.Errorf("lld: reading segment %d: %w", ls.idx, err)
+					close(ready[i])
+					continue
+				}
+				entries, err := seg.DecodeEntriesFromSegment(buf, ls.tr)
+				if err != nil {
+					// A valid trailer with a corrupt entry region means
+					// the medium failed underneath us (a torn write
+					// cannot produce this).
+					scans[i].corrupt = true
+				} else {
+					// A sealed segment groups its entries by region —
+					// operations, then writes, then commit records —
+					// not by time. Replay must see them in timestamp
+					// order, the order the live engine produced the
+					// effects: otherwise a commit record's buffered
+					// operations would apply after inline operations
+					// issued later than the commit, and the redo
+					// version bounds would mistake that late-arriving
+					// surgery for surgery already redone. The stable
+					// sort keeps region order for equal stamps, which
+					// is per-unit issue order.
+					sort.SliceStable(entries, func(a, b int) bool {
+						return entries[a].TS < entries[b].TS
+					})
+					scans[i].entries = entries
+				}
+				close(ready[i])
+			}
+		}()
+	}
+	applied := len(replay)
+	var scanErr error
+	for i, ls := range replay {
+		<-ready[i]
+		if scans[i].readErr != nil {
+			scanErr = scans[i].readErr
+			break
+		}
+		if scans[i].corrupt {
+			// Stop replaying here; later segments would be causally
+			// disconnected.
+			droppedTail = true
+			applied = i
+			break
+		}
 		var st0 time.Duration
 		if rspan != 0 {
 			st0 = d.obs.Now()
 		}
-		if err := dev.ReadAt(segBuf, layout.SegOff(ls.idx)); err != nil {
-			return nil, RecoveryReport{}, fmt.Errorf("lld: reading segment %d: %w", ls.idx, err)
-		}
-		entries, err := seg.DecodeEntriesFromSegment(segBuf, ls.tr)
-		if err != nil {
-			// A valid trailer with a corrupt entry region means the
-			// medium failed underneath us (a torn write cannot produce
-			// this). Stop replaying here; later segments would be
-			// causally disconnected.
-			droppedTail = true
-			break
-		}
-		for _, e := range entries {
+		for _, e := range scans[i].entries {
 			rt.apply(e, uint32(ls.idx))
 			rpt.EntriesReplayed++
 		}
-		d.obs.Emit(obs.EvRecoverySeg, 0, uint64(ls.idx), uint64(len(entries)))
+		d.obs.Emit(obs.EvRecoverySeg, 0, uint64(ls.idx), uint64(len(scans[i].entries)))
 		if rspan != 0 {
 			d.obs.EmitSpan(obs.Span{
 				Trace: rtrace, ID: d.obs.NextID(), Parent: rspan,
 				Kind: obs.SpanRecoverySeg, Start: st0, Dur: d.obs.Now() - st0,
-				Arg1: uint64(ls.idx), Arg2: uint64(len(entries)),
+				Arg1: uint64(ls.idx), Arg2: uint64(len(scans[i].entries)),
 			})
 		}
-		if ls.tr.Seq > maxSeq {
-			maxSeq = ls.tr.Seq
+	}
+	wgSeg.Wait()
+	if scanErr != nil {
+		return nil, RecoveryReport{}, scanErr
+	}
+	replay = replay[:applied]
+	if d.obs != nil {
+		d.obs.ObserveSince(obs.HistRecoveryScan, sc0)
+		d.obs.Emit(obs.EvRecoveryScan, 0, uint64(workers), uint64(len(replay)))
+		if rspan != 0 {
+			d.obs.EmitSpan(obs.Span{
+				Trace: rtrace, ID: d.obs.NextID(), Parent: rspan,
+				Kind: obs.SpanRecoveryScan, Start: sc0, Dur: d.obs.Now() - sc0,
+				Arg1: uint64(workers), Arg2: uint64(len(replay)),
+			})
 		}
 	}
 	rt.resolveInDoubt(p.CommitResolver, &rpt)
+	rpt.RedoSkipped = rt.skipped
 	rpt.SegmentsReplayed = len(replay)
 	rpt.ARUsRecovered = rt.committed
 	rpt.ARUsDropped = len(rt.pending)
@@ -246,6 +381,16 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		if id >= d.nextLst {
 			d.nextLst = id + 1
 		}
+	}
+	// Every identifier the replay touched differs (or may differ) from
+	// what the on-disk chain head covers: it must ride in the next
+	// delta record, or an incremental checkpoint taken after recovery
+	// would silently drop the replayed effects.
+	for id := range rt.touchedB {
+		d.dirtyBlocks[id] = struct{}{}
+	}
+	for id := range rt.touchedL {
+		d.dirtyLists[id] = struct{}{}
 	}
 	if rt.maxTS >= d.ts {
 		d.ts = rt.maxTS + 1
@@ -308,33 +453,36 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 	return d, rpt, nil
 }
 
-// loadNewestCheckpoint reads both checkpoint regions and returns the
-// newest valid one and its region index.
-func loadNewestCheckpoint(dev disk.Disk, layout seg.Layout) (seg.Checkpoint, int, error) {
+// loadNewestChain decodes both checkpoint regions as incremental
+// chains (a legacy v1 snapshot decodes as a one-record chain) and
+// returns the one whose head record is newest, with its region index.
+// A region whose chain is torn still contributes its valid prefix: a
+// shorter chain only means more segments to replay, never corruption.
+func loadNewestChain(dev disk.Disk, layout seg.Layout) (seg.CkptChain, int, error) {
 	var (
-		best     seg.Checkpoint
-		bestSlot = -1
+		best       seg.CkptChain
+		bestRegion = -1
 	)
 	buf := make([]byte, layout.CkptRegionBytes())
 	for i := 0; i < 2; i++ {
 		if err := dev.ReadAt(buf, layout.CkptOff(i)); err != nil {
-			return seg.Checkpoint{}, 0, fmt.Errorf("lld: reading checkpoint region %d: %w", i, err)
+			return seg.CkptChain{}, 0, fmt.Errorf("lld: reading checkpoint region %d: %w", i, err)
 		}
-		ck, err := seg.DecodeCheckpoint(buf)
+		c, err := seg.DecodeCkptChain(buf)
 		if err != nil {
 			if errors.Is(err, seg.ErrBadCheckpoint) {
 				continue
 			}
-			return seg.Checkpoint{}, 0, err
+			return seg.CkptChain{}, 0, err
 		}
-		if bestSlot < 0 || ck.CkptTS > best.CkptTS {
-			best, bestSlot = ck, i
+		if bestRegion < 0 || c.Head().CkptTS > best.Head().CkptTS {
+			best, bestRegion = c, i
 		}
 	}
-	if bestSlot < 0 {
-		return seg.Checkpoint{}, 0, fmt.Errorf("%w: no valid checkpoint region", seg.ErrBadCheckpoint)
+	if bestRegion < 0 {
+		return seg.CkptChain{}, 0, fmt.Errorf("%w: no valid checkpoint region", seg.ErrBadCheckpoint)
 	}
-	return best, bestSlot, nil
+	return best, bestRegion, nil
 }
 
 // recoveryTables reconstructs the persistent state from a checkpoint
@@ -342,6 +490,14 @@ func loadNewestCheckpoint(dev disk.Disk, layout seg.Layout) (seg.Checkpoint, int
 // applied — at the commit record's timestamp — only when the commit
 // record is reached; everything else is discarded (paper §3.3:
 // "recovery is always to the most recent persistent version").
+//
+// Replay is REDO-only and idempotent: every applied operation carries
+// a version bound (the block's write timestamp, the list's structural
+// timestamp), and an operation at or below the bound already in the
+// tables is skipped rather than re-derived. Re-running any prefix of
+// the redo stream over already-recovered tables is therefore a no-op —
+// a re-crash mid-recovery just makes the next redo shorter
+// (DESIGN.md §15).
 type recoveryTables struct {
 	blocks map[BlockID]*seg.BlockRec
 	lists  map[ListID]*seg.ListRec
@@ -352,6 +508,14 @@ type recoveryTables struct {
 	maxTS     uint64
 	maxARU    ARUID
 	fallbacks int
+	skipped   int // redo operations skipped by the version-bound guards
+
+	// touchedB and touchedL name every identifier the replay modified
+	// or deleted — the recovered engine's initial dirty sets, so the
+	// first post-recovery delta checkpoint carries the replayed
+	// effects.
+	touchedB map[BlockID]struct{}
+	touchedL map[ListID]struct{}
 }
 
 type pendingOp struct {
@@ -373,6 +537,8 @@ func newRecoveryTables(ck seg.Checkpoint) *recoveryTables {
 		lists:    make(map[ListID]*seg.ListRec, len(ck.Lists)),
 		pending:  make(map[ARUID][]pendingOp),
 		prepared: make(map[ARUID]prepRec),
+		touchedB: make(map[BlockID]struct{}),
+		touchedL: make(map[ListID]struct{}),
 	}
 	for i := range ck.Blocks {
 		r := ck.Blocks[i]
@@ -465,13 +631,28 @@ func (rt *recoveryTables) resolveInDoubt(resolve func(txn uint64) bool, rpt *Rec
 	}
 }
 
-// applyNow applies one entry at effective time ts.
+// applyNow applies one entry at effective time ts, under the REDO
+// version bounds: an effect the tables already hold at a timestamp at
+// or past ts is never re-derived.
 func (rt *recoveryTables) applyNow(e seg.Entry, segIdx uint32, ts uint64) {
 	switch e.Kind {
 	case seg.KindNewBlock:
+		if r, ok := rt.blocks[e.Block]; ok && r.TS >= ts {
+			// Identifiers are never reused, so an existing record at or
+			// past ts means this allocation was already redone;
+			// re-applying would wipe the block's physical address.
+			rt.skipped++
+			return
+		}
 		rt.blocks[e.Block] = &seg.BlockRec{ID: e.Block, TS: ts}
+		rt.touchedB[e.Block] = struct{}{}
 	case seg.KindNewList:
-		rt.lists[e.List] = &seg.ListRec{ID: e.List}
+		if l, ok := rt.lists[e.List]; ok && l.TS >= ts {
+			rt.skipped++
+			return
+		}
+		rt.lists[e.List] = &seg.ListRec{ID: e.List, TS: ts}
+		rt.touchedL[e.List] = struct{}{}
 	case seg.KindWrite:
 		r, ok := rt.blocks[e.Block]
 		if !ok {
@@ -488,14 +669,21 @@ func (rt *recoveryTables) applyNow(e seg.Entry, segIdx uint32, ts uint64) {
 			rt.fallbacks++
 			return
 		}
+		if r.HasData && r.TS == ts && r.Seg == segIdx && r.Slot == e.Slot {
+			rt.skipped++ // exact re-apply of an already-redone write
+			return
+		}
 		r.Seg = segIdx
 		r.Slot = e.Slot
 		r.HasData = true
 		r.TS = ts
+		rt.touchedB[e.Block] = struct{}{}
 	case seg.KindDeleteBlock:
 		delete(rt.blocks, e.Block)
+		rt.touchedB[e.Block] = struct{}{}
 	case seg.KindDeleteList:
 		delete(rt.lists, e.List)
+		rt.touchedL[e.List] = struct{}{}
 	case seg.KindLink:
 		rt.applyLink(e, ts)
 	case seg.KindUnlink:
@@ -512,6 +700,16 @@ func (rt *recoveryTables) applyLink(e seg.Entry, ts uint64) {
 	b, ok := rt.blocks[e.Block]
 	if !ok {
 		rt.fallbacks++
+		return
+	}
+	// Structural version bound: list surgery applies in nondecreasing
+	// commit-timestamp order, so a link at or below the list's
+	// structural clock was already redone. At exactly the clock (one
+	// unit's operations all apply at its commit timestamp), membership
+	// disambiguates: the block already being on the list means this
+	// very link applied.
+	if l.TS > ts || (l.TS == ts && b.List == e.List) {
+		rt.skipped++
 		return
 	}
 	pred := e.Pred
@@ -539,6 +737,12 @@ func (rt *recoveryTables) applyLink(e seg.Entry, ts uint64) {
 	}
 	b.List = e.List
 	b.TS = ts
+	l.TS = ts
+	rt.touchedB[e.Block] = struct{}{}
+	rt.touchedL[e.List] = struct{}{}
+	if pred != seg.NilBlock {
+		rt.touchedB[pred] = struct{}{}
+	}
 }
 
 func (rt *recoveryTables) applyUnlink(e seg.Entry, ts uint64) {
@@ -550,6 +754,13 @@ func (rt *recoveryTables) applyUnlink(e seg.Entry, ts uint64) {
 	b, ok := rt.blocks[e.Block]
 	if !ok {
 		rt.fallbacks++
+		return
+	}
+	// Structural version bound, mirroring applyLink: at exactly the
+	// list's clock, the block already being *off* the list means this
+	// unlink applied.
+	if l.TS > ts || (l.TS == ts && b.List != e.List) {
+		rt.skipped++
 		return
 	}
 	// Find the predecessor in the reconstructed chain.
@@ -580,4 +791,10 @@ func (rt *recoveryTables) applyUnlink(e seg.Entry, ts uint64) {
 	b.Succ = seg.NilBlock
 	b.List = seg.NilList
 	b.TS = ts
+	l.TS = ts
+	rt.touchedB[e.Block] = struct{}{}
+	rt.touchedL[e.List] = struct{}{}
+	if pred != seg.NilBlock {
+		rt.touchedB[pred] = struct{}{}
+	}
 }

@@ -456,8 +456,10 @@ func TestCrashSweepInterleaved(t *testing.T) {
 
 // TestCheckpointFallback corrupts the newest checkpoint region and
 // verifies recovery falls back to the older one plus a longer replay.
+// CkptCompactEvery: -1 makes every checkpoint a full base, so the two
+// regions alternate and both hold valid chains before the corruption.
 func TestCheckpointFallback(t *testing.T) {
-	p := Params{Layout: testLayout(64), CheckpointEvery: -1}
+	p := Params{Layout: testLayout(64), CheckpointEvery: -1, CkptCompactEvery: -1}
 	dev := disk.NewMem(p.Layout.DiskBytes())
 	d, err := Format(dev, p)
 	if err != nil {
@@ -490,9 +492,9 @@ func TestCheckpointFallback(t *testing.T) {
 	best, bestOff := uint64(0), int64(0)
 	for i := 0; i < 2; i++ {
 		off := layout.CkptOff(i)
-		ck, err := seg.DecodeCheckpoint(img[off : off+layout.CkptRegionBytes()])
-		if err == nil && ck.CkptTS > best {
-			best, bestOff = ck.CkptTS, off
+		ch, err := seg.DecodeCkptChain(img[off : off+layout.CkptRegionBytes()])
+		if err == nil && ch.Head().CkptTS > best {
+			best, bestOff = ch.Head().CkptTS, off
 		}
 	}
 	if best == 0 {

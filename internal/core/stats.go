@@ -25,6 +25,7 @@ type lldStats struct {
 	SegmentsCleaned            atomic.Int64
 	BlocksRelocated            atomic.Int64
 	Checkpoints                atomic.Int64
+	CkptDeltas                 atomic.Int64
 	MergeFallbacks             atomic.Int64
 	LeakedBlocksFreed          atomic.Int64
 	ShadowRecords, AltRecords  atomic.Int64
@@ -65,6 +66,7 @@ func (s *lldStats) snapshot() Stats {
 		SegmentsCleaned:        s.SegmentsCleaned.Load(),
 		BlocksRelocated:        s.BlocksRelocated.Load(),
 		Checkpoints:            s.Checkpoints.Load(),
+		CkptDeltas:             s.CkptDeltas.Load(),
 		MergeFallbacks:         s.MergeFallbacks.Load(),
 		LeakedBlocksFreed:      s.LeakedBlocksFreed.Load(),
 		ShadowRecords:          s.ShadowRecords.Load(),

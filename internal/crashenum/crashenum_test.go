@@ -136,6 +136,110 @@ func TestInjectionsCaught(t *testing.T) {
 	}
 }
 
+// TestNetClean explores crash states of the network workload — the
+// engine behind an ldnet server, durability judged by acks the client
+// received — and expects zero violations: every CommitDurable whose
+// reply reached the client must survive any later crash, units acked
+// by plain EndARU must be all-or-nothing, and units whose effects were
+// mid-flight may vanish but never tear.
+func TestNetClean(t *testing.T) {
+	o := Options{Seed: 1, Seeds: 3, Net: true, MaxStates: 250,
+		MixedParams: workload.MixedParams{Units: 24}}
+	if testing.Short() {
+		o.Seeds, o.MaxStates = 1, 80
+	}
+	rpt, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rpt.Violations {
+		t.Errorf("%s seed=%d state=%s shrunk=%s: %v", v.Workload, v.Seed, v.State, v.Shrunk, v.Desc)
+	}
+	if rpt.States < o.MaxStates {
+		t.Fatalf("explored only %d states, wanted %d", rpt.States, o.MaxStates)
+	}
+}
+
+// TestNetJournalDeterministic: the net workload must journal
+// deterministically across runs (one synchronous client, sequential
+// server), or replay artifacts would not reproduce.
+func TestNetJournalDeterministic(t *testing.T) {
+	a, err := runNet(3, workload.MixedParams{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runNet(3, workload.MixedParams{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := a.rec.Journal(), b.rec.Journal()
+	if len(ja) != len(jb) || len(ja) == 0 {
+		t.Fatalf("journal lengths differ across runs: %d vs %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i].Off != jb[i].Off || ja[i].Epoch != jb[i].Epoch || !bytes.Equal(ja[i].Data, jb[i].Data) {
+			t.Fatalf("journal op %d differs: off %d/%d epoch %d/%d",
+				i, ja[i].Off, jb[i].Off, ja[i].Epoch, jb[i].Epoch)
+		}
+	}
+}
+
+// TestRecoverCrashClean crashes recovery itself: sampled clean crash
+// states have their first recovery journaled and sub-enumerated, and
+// every double-crash image must re-recover clean — the REDO-only
+// idempotence argument of DESIGN.md §15, checked mechanically.
+func TestRecoverCrashClean(t *testing.T) {
+	o := Options{Seed: 1, Seeds: 2, Mixed: true, MaxStates: 400,
+		RecoverCrash: true, RecoverSample: 1}
+	if testing.Short() {
+		o.MaxStates = 120
+	}
+	rpt, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rpt.Violations {
+		t.Errorf("%s seed=%d state=%s: %v", v.Workload, v.Seed, v.State, v.Desc)
+	}
+	if rpt.States < o.MaxStates {
+		t.Fatalf("explored only %d states, wanted %d", rpt.States, o.MaxStates)
+	}
+}
+
+// TestTornDeltaCaught validates the oracle against the broken
+// checkpoint publish barrier (Params.UnsafeTornDeltaPublish): an
+// incremental delta record that advances the segment-reuse watermark
+// without being synced first. The enumerator must find a crash state
+// where the record is lost while a reused segment overwrite survived,
+// the shrunk artifact must reproduce, and the same state must be clean
+// on the real engine.
+func TestTornDeltaCaught(t *testing.T) {
+	o := Options{Seed: 1, Seeds: 8, Mixed: true, Inject: "torn-delta",
+		MaxViolationsPerRun: 1}
+	rpt, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rpt.Violations) == 0 {
+		t.Fatalf("torn-delta bug not caught in %d states", rpt.States)
+	}
+	v := rpt.Violations[0]
+	viols, err := Replay(v.Workload, v.Seed, o, v.Shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) == 0 {
+		t.Errorf("artifact %q does not reproduce", v.Artifact)
+	}
+	clean := o
+	clean.Inject = ""
+	if viols, err := Replay(v.Workload, v.Seed, clean, v.Shrunk); err != nil {
+		t.Fatal(err)
+	} else if len(viols) != 0 {
+		t.Errorf("state %s also fails the real engine: %v", v.Shrunk, viols)
+	}
+}
+
 // TestConcFlushClean explores crash states of the mixed workload with
 // concurrent-committer phases (several goroutines calling Flush at
 // once, coalesced by the group-commit broker) and expects zero

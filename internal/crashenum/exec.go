@@ -25,13 +25,20 @@ func checkerLayout() seg.Layout {
 
 // checkerParams returns the engine configuration for a checker run.
 // inject selects a deliberate bug ("nosync", "untagged-replay",
-// "ack-early") used to validate that the oracle actually catches
-// violations.
+// "ack-early", "torn-delta") used to validate that the oracle actually
+// catches violations.
+//
+// CkptCompactEvery is pinned low so every run exercises the whole
+// incremental-checkpoint life cycle — delta appends, chain replay, and
+// base compaction — and the enumerator therefore crashes inside all of
+// those phases (torn delta records, published-but-unsynced deltas,
+// compaction mid-flight).
 func checkerParams(inject string) (core.Params, error) {
 	p := core.Params{
-		Layout:          checkerLayout(),
-		CheckpointEvery: 8,
-		CacheBlocks:     128,
+		Layout:           checkerLayout(),
+		CheckpointEvery:  8,
+		CkptCompactEvery: 3,
+		CacheBlocks:      128,
 	}
 	switch inject {
 	case "", "none":
@@ -44,6 +51,15 @@ func checkerParams(inject string) (core.Params, error) {
 		// before dev.Sync runs, so Flush acknowledges durability on
 		// unsynced segments.
 		p.UnsafeAckBeforeSync = true
+	case "torn-delta":
+		// The broken publish barrier: a checkpoint record advances the
+		// segment-reuse watermark without being synced first, so a
+		// crash can lose the record while segments its predecessor's
+		// replay window needs have already been overwritten. A smaller
+		// log makes the wrap-around reuse that exposes the bug happen
+		// within the workload.
+		p.UnsafeTornDeltaPublish = true
+		p.Layout.NumSegs = 18
 	default:
 		return core.Params{}, fmt.Errorf("crashenum: unknown injection %q", inject)
 	}

@@ -1,0 +1,99 @@
+package crashenum
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"aru/internal/core"
+)
+
+// recoverThenCrash crashes *recovery itself*: it re-runs recovery over
+// the crash image img on a fresh Recorder, journaling every device
+// write the first recovery issues — replayed-state promotion segments,
+// the cut-seal checkpoint over a dropped tail, the leak sweep's log
+// entries — and then enumerates crash states of that execution. Each
+// double-crash image is mounted through recovery a second time and
+// checked against the same oracle, judged at the *original* crash
+// epoch: recovery acknowledges nothing new, so whatever was durable
+// before the first crash must survive no matter where the first
+// recovery was interrupted, and re-recovery must converge (REDO-only
+// replay is idempotent; DESIGN.md §15).
+//
+// fn receives each sub-state and its oracle findings; returning false
+// stops the sub-enumeration. maxSub bounds the sub-states explored
+// (<=0: unlimited).
+func recoverThenCrash(outer CrashState, img []byte, params core.Params,
+	check func(CrashState, []byte) []string, window int, seed int64, maxSub int,
+	fn func(sub CrashState, viols []string) bool) error {
+	journal, size, start, err := recoverJournal(outer, img, params)
+	if err != nil {
+		return err
+	}
+	n := 0
+	ForEachState(journal, size, start, window, seed^0x7ec0425, func(sub CrashState, img2 []byte) bool {
+		n++
+		viols := check(CrashState{Epoch: outer.Epoch, TearOp: -1}, img2)
+		if !fn(sub, viols) {
+			return false
+		}
+		return maxSub <= 0 || n < maxSub
+	})
+	if n == 0 {
+		// Recovery wrote nothing (no cut tail to seal, no leaks to
+		// sweep), so there is exactly one double-crash image: the outer
+		// image itself. Still check it — the second recovery must
+		// converge to the same oracle-clean state as the first.
+		fn(CrashState{Epoch: start, TearOp: -1},
+			check(CrashState{Epoch: outer.Epoch, TearOp: -1}, img))
+	}
+	return nil
+}
+
+// recoverJournal runs one recovery over img with its device writes
+// journaled, returning the journal, device size, and the first epoch
+// holding recovery's own writes. The whole outer crash image is seeded
+// as epoch 0 and sealed, so materialized sub-states start from exactly
+// that image and only recovery's writes are subject to loss.
+func recoverJournal(outer CrashState, img []byte, params core.Params) ([]WriteOp, int64, int, error) {
+	rec := NewRecorder(int64(len(img)))
+	if err := rec.WriteAt(append([]byte(nil), img...), 0); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := rec.Sync(); err != nil {
+		return nil, 0, 0, err
+	}
+	start := rec.Epoch()
+	if _, _, err := core.OpenReport(rec, params); err != nil {
+		return nil, 0, 0, fmt.Errorf("crashenum: journaled recovery of state %s failed: %w", outer, err)
+	}
+	return rec.Journal(), rec.Size(), start, nil
+}
+
+// ReplayRecoverCrash reproduces one recover-then-crash violation: it
+// materializes the outer crash state of the workload, journals the
+// first recovery over it, materializes the sub-state of that journal,
+// and returns the oracle's findings on the double-crash image.
+func ReplayRecoverCrash(kind string, seed int64, o Options, outer, sub CrashState) ([]string, error) {
+	w, err := workloadJournal(kind, seed, o)
+	if err != nil {
+		return nil, err
+	}
+	img := MaterializeState(w.journal, w.size, outer)
+	rj, rsize, _, err := recoverJournal(outer, img, w.params)
+	if err != nil {
+		return nil, err
+	}
+	return w.check(CrashState{Epoch: outer.Epoch, TearOp: -1}, MaterializeState(rj, rsize, sub)), nil
+}
+
+// sampleRecoverCrash deterministically picks which clean crash states
+// get the recover-then-crash treatment: roughly one in rate, by hash
+// of the seed and state descriptor. rate <= 1 samples every state.
+func sampleRecoverCrash(cs CrashState, seed int64, rate int) bool {
+	if rate <= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d/%s", seed, cs)
+	return h.Sum32()%uint32(rate) == 0
+}

@@ -3,6 +3,7 @@ package crashenum
 import (
 	"fmt"
 
+	"aru/internal/core"
 	"aru/internal/workload"
 )
 
@@ -19,11 +20,25 @@ type Options struct {
 	// within the crash epoch (default 3).
 	ReorderWindow int
 	// Mixed runs the mixed-ARU workload; FS runs the file-system
-	// workload; Shard runs the sharded cross-shard 2PC workload.
+	// workload; Shard runs the sharded cross-shard 2PC workload; Net
+	// runs the mixed-style workload through an ldnet client/server
+	// pair, with durability judged by client-received acks.
 	// Default is Mixed only.
 	Mixed bool
 	FS    bool
 	Shard bool
+	Net   bool
+	// RecoverCrash additionally crashes recovery itself: for a sampled
+	// subset of clean single-device crash states, the first recovery's
+	// own device writes are journaled and sub-enumerated, and every
+	// double-crash image must re-recover clean (same oracle, judged at
+	// the original crash epoch). RecoverSample is the reciprocal
+	// sampling rate (default 16: roughly one state in 16);
+	// MaxRecoverStates bounds sub-states per sampled state (default
+	// 48). Sub-states count toward MaxStates.
+	RecoverCrash     bool
+	RecoverSample    int
+	MaxRecoverStates int
 	// Shards sets the shard count of the sharded workload (default 2).
 	Shards int
 	// MixedParams sizes the mixed workload (zero = defaults).
@@ -74,7 +89,13 @@ func Run(o Options) (Report, error) {
 	if o.MaxViolationsPerRun <= 0 {
 		o.MaxViolationsPerRun = 3
 	}
-	if !o.Mixed && !o.FS && !o.Shard {
+	if o.RecoverSample <= 0 {
+		o.RecoverSample = 16
+	}
+	if o.MaxRecoverStates <= 0 {
+		o.MaxRecoverStates = 48
+	}
+	if !o.Mixed && !o.FS && !o.Shard && !o.Net {
 		o.Mixed = true
 	}
 	logf := o.Logf
@@ -100,6 +121,11 @@ func Run(o Options) (Report, error) {
 				return rpt, err
 			}
 		}
+		if o.Net {
+			if err := runOne(&rpt, o, "net", seed, logf, budgetLeft); err != nil {
+				return rpt, err
+			}
+		}
 		if o.Shard {
 			if err := runShardOne(&rpt, o, seed, logf, budgetLeft); err != nil {
 				return rpt, err
@@ -112,37 +138,57 @@ func Run(o Options) (Report, error) {
 	return rpt, nil
 }
 
-// runOne executes one workload instance and checks its crash states.
-func runOne(rpt *Report, o Options, kind string, seed int64, logf func(string, ...any), budgetLeft func() int) error {
-	var (
-		journal    []WriteOp
-		size       int64
-		startEpoch int
-		check      func(cs CrashState, img []byte) []string
-	)
+// workloadRun is one executed single-device workload: its journal and
+// the oracle over its crash states.
+type workloadRun struct {
+	journal    []WriteOp
+	size       int64
+	startEpoch int
+	params     core.Params
+	check      func(cs CrashState, img []byte) []string
+}
+
+// workloadJournal executes one single-device workload instance and
+// returns its journal plus oracle.
+func workloadJournal(kind string, seed int64, o Options) (workloadRun, error) {
 	switch kind {
 	case "mixed":
 		res, err := runMixed(seed, o.MixedParams, o.Inject)
 		if err != nil {
-			return fmt.Errorf("crashenum: mixed workload seed %d: %w", seed, err)
+			return workloadRun{}, fmt.Errorf("crashenum: mixed workload seed %d: %w", seed, err)
 		}
-		journal, size, startEpoch = res.rec.Journal(), res.rec.Size(), res.startEpoch
-		check = res.checkImage
+		return workloadRun{res.rec.Journal(), res.rec.Size(), res.startEpoch, res.params, res.checkImage}, nil
 	case "fs":
 		res, err := runFS(seed, o.Inject)
 		if err != nil {
-			return fmt.Errorf("crashenum: fs workload seed %d: %w", seed, err)
+			return workloadRun{}, fmt.Errorf("crashenum: fs workload seed %d: %w", seed, err)
 		}
-		journal, size, startEpoch = res.rec.Journal(), res.rec.Size(), res.startEpoch
-		check = res.checkImage
+		return workloadRun{res.rec.Journal(), res.rec.Size(), res.startEpoch, res.params, res.checkImage}, nil
+	case "net":
+		res, err := runNet(seed, o.MixedParams, o.Inject)
+		if err != nil {
+			return workloadRun{}, fmt.Errorf("crashenum: net workload seed %d: %w", seed, err)
+		}
+		return workloadRun{res.rec.Journal(), res.rec.Size(), res.startEpoch, res.params, res.checkImage}, nil
 	default:
-		return fmt.Errorf("crashenum: unknown workload %q", kind)
+		return workloadRun{}, fmt.Errorf("crashenum: unknown workload %q", kind)
 	}
+}
+
+// runOne executes one workload instance and checks its crash states.
+func runOne(rpt *Report, o Options, kind string, seed int64, logf func(string, ...any), budgetLeft func() int) error {
+	w, err := workloadJournal(kind, seed, o)
+	if err != nil {
+		return err
+	}
+	journal, size, check := w.journal, w.size, w.check
 	rpt.Runs++
 	violations := 0
-	ForEachState(journal, size, startEpoch, o.ReorderWindow, seed, func(cs CrashState, img []byte) bool {
+	var recErr error
+	ForEachState(journal, size, w.startEpoch, o.ReorderWindow, seed, func(cs CrashState, img []byte) bool {
 		rpt.States++
-		if viols := check(cs, img); len(viols) > 0 {
+		viols := check(cs, img)
+		if len(viols) > 0 {
 			violations++
 			v := Violation{Workload: kind, Seed: seed, State: cs, Shrunk: cs, Desc: viols}
 			if !o.NoShrink {
@@ -158,11 +204,38 @@ func runOne(rpt *Report, o Options, kind string, seed int64, logf func(string, .
 				return false
 			}
 		}
+		if len(viols) == 0 && o.RecoverCrash && sampleRecoverCrash(cs, seed, o.RecoverSample) {
+			outer := cs
+			recErr = recoverThenCrash(cs, img, w.params, check, o.ReorderWindow, seed, o.MaxRecoverStates,
+				func(sub CrashState, viols []string) bool {
+					rpt.States++
+					if len(viols) > 0 {
+						violations++
+						v := Violation{Workload: kind + "+recover", Seed: seed, State: outer, Shrunk: outer, Desc: viols}
+						v.Artifact = fmt.Sprintf("-workloads %s -seed %d -replay %s+R%s", kind, seed, outer, sub)
+						rpt.Violations = append(rpt.Violations, v)
+						logf("VIOLATION %s+recover seed=%d state=%s sub=%s: %v", kind, seed, outer, sub, viols)
+						if violations >= o.MaxViolationsPerRun {
+							return false
+						}
+					}
+					if left := budgetLeft(); left >= 0 && left <= 0 {
+						return false
+					}
+					return true
+				})
+			if recErr != nil || violations >= o.MaxViolationsPerRun {
+				return false
+			}
+		}
 		if left := budgetLeft(); left >= 0 && left <= 0 {
 			return false
 		}
 		return true
 	})
+	if recErr != nil {
+		return recErr
+	}
 	logf("%s seed=%d: %d distinct states so far, %d violations", kind, seed, rpt.States, len(rpt.Violations))
 	return nil
 }
@@ -232,26 +305,9 @@ func ReplayShard(seed int64, o Options, ms MultiState) ([]string, error) {
 // cmd/aru-crashcheck: a failure artifact (workload, seed, state
 // descriptor) reproduces deterministically.
 func Replay(kind string, seed int64, o Options, cs CrashState) ([]string, error) {
-	var (
-		journal []WriteOp
-		size    int64
-		check   func(cs CrashState, img []byte) []string
-	)
-	switch kind {
-	case "mixed":
-		res, err := runMixed(seed, o.MixedParams, o.Inject)
-		if err != nil {
-			return nil, err
-		}
-		journal, size, check = res.rec.Journal(), res.rec.Size(), res.checkImage
-	case "fs":
-		res, err := runFS(seed, o.Inject)
-		if err != nil {
-			return nil, err
-		}
-		journal, size, check = res.rec.Journal(), res.rec.Size(), res.checkImage
-	default:
-		return nil, fmt.Errorf("crashenum: unknown workload %q", kind)
+	w, err := workloadJournal(kind, seed, o)
+	if err != nil {
+		return nil, err
 	}
-	return check(cs, MaterializeState(journal, size, cs)), nil
+	return w.check(cs, MaterializeState(w.journal, w.size, cs)), nil
 }

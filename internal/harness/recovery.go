@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"aru/internal/core"
+	"aru/internal/disk"
+	"aru/internal/seg"
+)
+
+// RecoveryPoint is one point of the recovery-time-versus-delta curve:
+// an image whose log tail beyond the newest checkpoint covers
+// DeltaFrac of the history, mounted with the parallel scan and with a
+// single worker.
+type RecoveryPoint struct {
+	DeltaFrac        float64       // fraction of history beyond the newest checkpoint
+	ChainDepth       int           // delta records on the mounted chain
+	SegmentsReplayed int           // segments scanned beyond the checkpoint
+	EntriesReplayed  int           // summary entries replayed
+	Recover          time.Duration // wall time, parallel worker pool
+	RecoverSerial    time.Duration // wall time, RecoveryWorkers=1
+}
+
+// RecoveryResult is the full sweep.
+type RecoveryResult struct {
+	Units   int // history size in committed units
+	Workers int // pool size used for the parallel rows
+	Points  []RecoveryPoint
+}
+
+// recoveryLayout is a mid-sized format: big enough that a full-log
+// scan costs measurable decode work, small enough to rebuild per
+// point. ~34 MB.
+func recoveryLayout() seg.Layout {
+	return seg.Layout{BlockSize: 4096, SegBytes: 1 << 17, NumSegs: 512, MaxBlocks: 1 << 16, MaxLists: 4096}
+}
+
+// RunRecoverySweep builds images holding the same committed history
+// but checkpointed at different points — the log tail beyond the
+// newest checkpoint ranges from the whole history (no checkpoint, the
+// full-scan baseline) down to a few percent — and measures the wall
+// time of mounting each. Checkpoints before the cut land every
+// Units/8 committed units with a bounded chain (CkptCompactEvery 4),
+// so the mounted image carries a realistic base+delta chain, not a
+// fresh base. With O(delta) recovery the curve must fall roughly
+// linearly with the tail fraction; RecoveryGate enforces the floor.
+func RunRecoverySweep(o Options) (RecoveryResult, error) {
+	o = o.withDefaults()
+	units := 2800
+	if o.Scale > 1 {
+		units /= o.Scale
+	}
+	if units < 80 {
+		units = 80
+	}
+	workers := runtime.GOMAXPROCS(0) // default pool size, as core caps it
+	if workers > 8 {
+		workers = 8
+	}
+	res := RecoveryResult{Units: units, Workers: workers}
+	for _, frac := range []float64{1.0, 0.5, 0.25, 0.10} {
+		img, err := buildRecoveryImage(units, frac)
+		if err != nil {
+			return res, err
+		}
+		pt := RecoveryPoint{DeltaFrac: frac}
+		for rep := 0; rep < 3; rep++ {
+			par, rpt, err := timeRecovery(img, 0)
+			if err != nil {
+				return res, err
+			}
+			ser, _, err := timeRecovery(img, 1)
+			if err != nil {
+				return res, err
+			}
+			if rep == 0 || par < pt.Recover {
+				pt.Recover = par
+			}
+			if rep == 0 || ser < pt.RecoverSerial {
+				pt.RecoverSerial = ser
+			}
+			pt.ChainDepth = rpt.DeltaChainDepth
+			pt.SegmentsReplayed = rpt.SegmentsReplayed
+			pt.EntriesReplayed = rpt.EntriesReplayed
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// buildRecoveryImage builds a fixed working set (so the checkpoint
+// tables — an O(live-state) mount cost every configuration pays
+// equally — stay the same size at every point), then runs a
+// rewrite-heavy history of `units` committed overwrite units and
+// leaves the final deltaFrac of it beyond the newest checkpoint.
+// deltaFrac 1.0 means no checkpoint after the working set: the
+// full-log-scan baseline.
+func buildRecoveryImage(units int, deltaFrac float64) ([]byte, error) {
+	l := recoveryLayout()
+	p := core.Params{Layout: l, CheckpointEvery: -1, CkptCompactEvery: 4}
+	dev := disk.NewMem(l.DiskBytes())
+	d, err := core.Format(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	const nLists, blocksPer = 40, 12
+	var blocks []core.BlockID
+	for li := 0; li < nLists; li++ {
+		lst, err := d.NewList(seg.SimpleARU)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < blocksPer; i++ {
+			b, err := d.NewBlock(seg.SimpleARU, lst, core.NilBlock)
+			if err != nil {
+				return nil, err
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		return nil, err
+	}
+	if err := d.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	cut := units - int(float64(units)*deltaFrac)
+	ckptEvery := units / 8
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
+	payload := make([]byte, l.BlockSize)
+	for u := 0; u < units; u++ {
+		aru, err := d.BeginARU()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 3; i++ {
+			payload[0], payload[1] = byte(u), byte(i)
+			if err := d.Write(aru, blocks[(u*3+i)%len(blocks)], payload); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.EndARU(aru); err != nil {
+			return nil, err
+		}
+		if (u+1)%24 == 0 {
+			if err := d.Flush(); err != nil {
+				return nil, err
+			}
+		}
+		if u < cut && (u+1)%ckptEvery == 0 {
+			if err := d.Flush(); err != nil {
+				return nil, err
+			}
+			if err := d.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Flush(); err != nil {
+		return nil, err
+	}
+	return dev.Image(), nil
+}
+
+// timeRecovery mounts a fresh copy of img and returns the wall time of
+// recovery alone (the image copy is outside the clock). workers 0
+// keeps the default pool size.
+func timeRecovery(img []byte, workers int) (time.Duration, core.RecoveryReport, error) {
+	p := core.Params{CheckpointEvery: -1, CkptCompactEvery: 4, RecoveryWorkers: workers}
+	dev := disk.FromImage(img, disk.Geometry{})
+	start := time.Now()
+	_, rpt, err := core.OpenReport(dev, p)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, rpt, err
+	}
+	return elapsed, rpt, nil
+}
+
+// RecoveryGate checks the O(delta) property: the smallest-delta point
+// must recover in at most maxRatio of the full-scan baseline (the
+// DeltaFrac 1.0 point), both measured with the parallel pool.
+func RecoveryGate(res RecoveryResult, maxRatio float64) error {
+	if len(res.Points) < 2 {
+		return fmt.Errorf("recovery sweep has %d points", len(res.Points))
+	}
+	full := res.Points[0]
+	small := res.Points[len(res.Points)-1]
+	if full.DeltaFrac != 1.0 {
+		return fmt.Errorf("first sweep point is not the full-scan baseline (frac %.2f)", full.DeltaFrac)
+	}
+	if full.Recover <= 0 {
+		return fmt.Errorf("full-scan baseline measured no time")
+	}
+	ratio := float64(small.Recover) / float64(full.Recover)
+	if ratio > maxRatio {
+		return fmt.Errorf("recovery of the %.0f%% tail took %v, %.2fx the full scan's %v (ceiling %.2fx)",
+			small.DeltaFrac*100, small.Recover, ratio, full.Recover, maxRatio)
+	}
+	return nil
+}
+
+// FormatRecovery renders the sweep as a table.
+func FormatRecovery(res RecoveryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery time vs log tail beyond the checkpoint (%d units, %d workers)\n", res.Units, res.Workers)
+	fmt.Fprintf(&b, "%8s %8s %8s %8s %12s %12s %8s\n",
+		"tail", "depth", "segs", "entries", "parallel", "1 worker", "speedup")
+	for _, p := range res.Points {
+		speedup := 0.0
+		if p.Recover > 0 {
+			speedup = float64(p.RecoverSerial) / float64(p.Recover)
+		}
+		fmt.Fprintf(&b, "%7.0f%% %8d %8d %8d %12v %12v %7.2fx\n",
+			p.DeltaFrac*100, p.ChainDepth, p.SegmentsReplayed, p.EntriesReplayed,
+			p.Recover.Round(10*time.Microsecond), p.RecoverSerial.Round(10*time.Microsecond), speedup)
+	}
+	return b.String()
+}
+
+// AddRecovery appends the recovery sweep to the report: one result per
+// curve point, with the parallel and single-worker mounts as phases
+// (ops = entries replayed).
+func (r *Report) AddRecovery(res RecoveryResult) {
+	for _, p := range res.Points {
+		r.Results = append(r.Results, BenchResult{
+			Experiment: "recovery",
+			Build:      "new",
+			Label:      fmt.Sprintf("tail=%.0f%%", p.DeltaFrac*100),
+			Phases: []BenchPhase{
+				jsonPhase(Phase{Name: "recover", Ops: int64(p.EntriesReplayed), Elapsed: p.Recover}),
+				jsonPhase(Phase{Name: "recover-serial", Ops: int64(p.EntriesReplayed), Elapsed: p.RecoverSerial}),
+			},
+		})
+	}
+}

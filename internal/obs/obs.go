@@ -76,6 +76,17 @@ const (
 	// storage — the commit point of a cross-shard ARU. Arg1 =
 	// coordinator txn, Arg2 = participant shards.
 	EvCoordCommit
+	// EvCkptDelta: an incremental checkpoint delta record was appended
+	// to the chain. Arg1 = checkpoint timestamp, Arg2 = chain depth
+	// after the append.
+	EvCkptDelta
+	// EvCkptCompact: the checkpoint chain was compacted into a fresh
+	// full base in the other region. Arg1 = checkpoint timestamp,
+	// Arg2 = chain depth before compaction.
+	EvCkptCompact
+	// EvRecoveryScan: recovery's parallel summary scan finished.
+	// Arg1 = worker count, Arg2 = segments in the replay window.
+	EvRecoveryScan
 )
 
 // String implements fmt.Stringer.
@@ -113,6 +124,12 @@ func (k EventKind) String() string {
 		return "aru-prepare"
 	case EvCoordCommit:
 		return "coord-commit"
+	case EvCkptDelta:
+		return "ckpt-delta"
+	case EvCkptCompact:
+		return "ckpt-compact"
+	case EvRecoveryScan:
+		return "recovery-scan"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -218,6 +235,12 @@ const (
 	// HistCoordCommit: appending and syncing one coordinator commit
 	// record (the 2PC commit point).
 	HistCoordCommit
+	// HistCkptDelta: appending one incremental checkpoint delta record
+	// (full-base compactions still land in HistCheckpoint).
+	HistCkptDelta
+	// HistRecoveryScan: recovery's parallel summary scan — reading and
+	// decoding every replay-window segment, through the worker pool.
+	HistRecoveryScan
 
 	numHists
 )
@@ -236,6 +259,8 @@ var histName = [numHists]string{
 	HistCommitBatch:     "commit_batch",
 	HistPrepare:         "twopc_prepare",
 	HistCoordCommit:     "coord_commit",
+	HistCkptDelta:       "checkpoint_delta",
+	HistRecoveryScan:    "recovery_scan",
 }
 
 // String implements fmt.Stringer.

@@ -76,6 +76,10 @@ const (
 	// record — the 2PC commit point (parent = the 2PC span). Arg1 =
 	// coordinator txn.
 	SpanCoordCommit
+	// SpanRecoveryScan: the parallel summary-scan phase of one
+	// recovery (parent = the recovery span). Arg1 = worker count,
+	// Arg2 = segments in the replay window.
+	SpanRecoveryScan
 )
 
 // String implements fmt.Stringer.
@@ -107,6 +111,8 @@ func (k SpanKind) String() string {
 		return "engine-prepare"
 	case SpanCoordCommit:
 		return "coord-commit"
+	case SpanRecoveryScan:
+		return "recovery-scan"
 	default:
 		return fmt.Sprintf("span(%d)", uint8(k))
 	}

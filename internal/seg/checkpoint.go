@@ -32,6 +32,14 @@ type ListRec struct {
 	ID    ListID
 	First BlockID
 	Last  BlockID
+	// TS is the timestamp of the last structural change (link/unlink)
+	// applied to the list. The live engine does not maintain it; it is
+	// the recovery replay's version bound (REDO-only idempotence,
+	// DESIGN.md §15) and is carried by v2 checkpoint records only —
+	// the v1 wire format predates it and decodes it as zero, which is
+	// always safe (replayed entries carry strictly larger timestamps
+	// than anything a checkpoint covers).
+	TS uint64
 }
 
 // Checkpoint is a snapshot of the complete persistent state. LLD

@@ -206,22 +206,46 @@ func OpenReport(devs []disk.Disk, coordDev disk.Disk, o Options) (*Disk, []core.
 	s := &Disk{coord: c, opts: o, tr: o.Tracer, units: make(map[ARUID]*unit)}
 	p := shardParams(o, c)
 	reports := make([]core.RecoveryReport, len(devs))
-	maxTxn := c.maxTxn()
+	// Shards recover in parallel: each engine owns its device outright,
+	// and the only shared state — the coordinator log consulted by the
+	// in-doubt resolver — is mutex-protected. In-doubt resolution itself
+	// stays a pure read of the already-loaded commit set, so no ordering
+	// between shard recoveries matters; the txn floor is folded after
+	// the barrier.
+	s.shards = make([]*core.LLD, len(devs))
+	shardErrs := make([]error, len(devs))
+	var wg sync.WaitGroup
 	for i, dev := range devs {
-		idx, cnt, err := readShardStamp(dev)
+		wg.Add(1)
+		go func(i int, dev disk.Disk) {
+			defer wg.Done()
+			idx, cnt, err := readShardStamp(dev)
+			if err != nil {
+				shardErrs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			if cnt != len(devs) || idx != i {
+				shardErrs[i] = fmt.Errorf("%w: device %d stamped shard %d of %d, mounting as shard %d of %d",
+					ErrShardMismatch, i, idx, cnt, i, len(devs))
+				return
+			}
+			d, rpt, err := core.OpenReport(dev, p)
+			if err != nil {
+				shardErrs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			s.shards[i] = d
+			reports[i] = rpt
+		}(i, dev)
+	}
+	wg.Wait()
+	for _, err := range shardErrs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, nil, err
 		}
-		if cnt != len(devs) || idx != i {
-			return nil, nil, fmt.Errorf("%w: device %d stamped shard %d of %d, mounting as shard %d of %d",
-				ErrShardMismatch, i, idx, cnt, i, len(devs))
-		}
-		d, rpt, err := core.OpenReport(dev, p)
-		if err != nil {
-			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		s.shards = append(s.shards, d)
-		reports[i] = rpt
+	}
+	maxTxn := c.maxTxn()
+	for _, rpt := range reports {
 		if rpt.MaxPrepareTxn > maxTxn {
 			maxTxn = rpt.MaxPrepareTxn
 		}

@@ -686,7 +686,30 @@ func TestCheckpointCommitBarrier(t *testing.T) {
 	// would keep the unit on one shard and presume-abort it on another.
 	// Hammer checkpoints against a committer, then crash and verify
 	// every acknowledged unit survived whole.
-	o := Options{}
+	checkpointCommitBarrier(t, Options{})
+}
+
+// TestCheckpointCommitBarrierIncremental re-runs the commit-vs-
+// checkpoint race with the incremental chain pinned to its two
+// extremes: every checkpoint a delta (the publish barrier is the delta
+// sync), and compaction on every other checkpoint (the publish barrier
+// is the build-then-publish base flip to the other region). Either way
+// a 2PC commit racing the checkpoint must not strand an in-doubt
+// prepare behind a watermark whose coordinator record was reset.
+func TestCheckpointCommitBarrierIncremental(t *testing.T) {
+	t.Run("delta-chain", func(t *testing.T) {
+		var o Options
+		o.Params.CkptCompactEvery = 1 << 20 // never compact: pure delta appends
+		checkpointCommitBarrier(t, o)
+	})
+	t.Run("compact-every-other", func(t *testing.T) {
+		var o Options
+		o.Params.CkptCompactEvery = 1 // delta, base, delta, base, ...
+		checkpointCommitBarrier(t, o)
+	})
+}
+
+func checkpointCommitBarrier(t *testing.T, o Options) {
 	r := newRig(t, 2, o)
 	d := r.d
 	l0, l1 := twoShardLists(t, d)
