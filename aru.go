@@ -58,10 +58,14 @@ const (
 )
 
 // Disk re-exports the LLD engine. All methods are safe for concurrent
-// use; read-only operations (Read, ListBlocks, StatBlock, Stats, …)
-// hold only a shared read lock and run in parallel with each other,
-// while mutating operations serialize behind the write lock. See
-// aru/internal/core.LLD and DESIGN.md's "Concurrency" section.
+// use. Read-only operations (Read, ListBlocks, Stats, …) run against
+// epoch-based MVCC snapshots: each one loads the current epoch with a
+// single atomic pointer read plus a refcount, so readers never touch
+// the engine mutex and scale with cores, while mutating operations
+// serialize behind the write lock and publish a new epoch at each
+// durability point. AcquireSnapshot pins an epoch explicitly for
+// multi-read consistency (see Snapshot). See aru/internal/core.LLD
+// and DESIGN.md §16.
 //
 // Besides EndARU, an open unit can be discarded with AbortARU: its
 // shadow state is dropped and none of its operations ever reach the
@@ -76,6 +80,17 @@ type Disk = core.LLD
 
 // Params configures Format and Open; see aru/internal/core.Params.
 type Params = core.Params
+
+// Snapshot is a pinned read-only view of one published epoch: the
+// same answers, byte for byte, no matter how many commits, flushes or
+// cleaner passes run afterwards, until Release. Acquire one with
+// (*Disk).AcquireSnapshot; a crashed or closed disk turns outstanding
+// handles stale (ErrSnapshotStale) instead of serving diverged data.
+type Snapshot = core.Snapshot
+
+// ErrSnapshotStale reports a Snapshot used after release, or after
+// the disk it pins crashed or closed.
+var ErrSnapshotStale = core.ErrSnapshotStale
 
 // Layout describes the on-disk geometry; see aru/internal/seg.Layout.
 type Layout = seg.Layout

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit|shard|recovery]
+//	aru-bench [-exp all|table1|fig5|fig6|arulat|concurrent|groupcommit|shard|recovery|readscale]
 //	          [-scale N] [-verify] [-csv] [-json out.json]
 //	          [-metrics-addr :6060] [-trace-out trace.json]
 //	aru-bench -connect HOST:PORT [-net-ops N] [-trace-out trace.json]
@@ -36,6 +36,13 @@
 // smallest-tail mount must cost at most that fraction of the full
 // scan.
 //
+// -exp readscale measures committed-read throughput of the MVCC read
+// path (DESIGN.md §16) at -readscale-readers reader counts against a
+// continuously committing writer, in wall-clock time on an in-memory
+// device. The sweep runs under a full-rate runtime contention profile
+// and always gates: any blocking event attributed to a read-path
+// frame (a reader waiting on a lock) exits non-zero.
+//
 // -connect skips the simulated experiments and instead drives a remote
 // logical disk served by aru-serve with the mixed-ARU workload
 // (multi-block units, aborts, shadow readback, committed-state
@@ -61,7 +68,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit, shard, recovery")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, arulat, concurrent, groupcommit, shard, recovery, readscale")
 	scale := flag.Int("scale", 1, "divide workload sizes by N (1 = paper scale)")
 	verify := flag.Bool("verify", false, "verify payloads during read phases")
 	csv := flag.Bool("csv", false, "emit fig5/fig6 as CSV instead of tables")
@@ -80,6 +87,8 @@ func main() {
 	shardMaxOverhead := flag.Float64("shard-max-overhead", 0, "shard: fail if the single-shard fast path is slower than the bare engine by more than this fraction (0 = report only)")
 	workloadName := flag.String("workload", "uniform", "shard: committer workload — uniform (pinned shard-local units) or skew (Zipf hot keys)")
 	recMaxRatio := flag.Float64("recovery-max-ratio", 0, "recovery: fail unless the smallest-delta mount takes at most this fraction of the full-scan baseline (0 = report only)")
+	rsReaders := flag.Int("readscale-readers", 8, "readscale: largest reader count of the sweep")
+	rsOps := flag.Int("readscale-ops", 200000, "readscale: committed-state reads per reader")
 	connect := flag.String("connect", "", "drive a remote aru-serve instance at this address instead of the simulated testbed")
 	netOps := flag.Int("net-ops", 1000, "ARUs to run against the remote disk (-connect mode)")
 	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace JSON to this file")
@@ -247,6 +256,23 @@ func main() {
 			}
 		}
 		return nil
+	})
+
+	run("readscale", func() error {
+		counts := []int{}
+		for _, n := range []int{1, 2, 4} {
+			if n < *rsReaders {
+				counts = append(counts, n)
+			}
+		}
+		counts = append(counts, *rsReaders)
+		res, err := harness.RunReadScale(counts, *rsOps, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatReadScale(res))
+		report.AddReadScale(res)
+		return harness.ReadScaleGate(res)
 	})
 
 	run("recovery", func() error {

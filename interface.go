@@ -15,7 +15,19 @@ import (
 //
 // Semantics are identical through both implementations — an ARU reads
 // its own shadow state, simple reads see the committed state, EndARU
-// is atomic but not durable — with two network-specific notes:
+// is atomic but not durable.
+//
+// Read-snapshot semantics: every read through Interface observes one
+// published epoch of the committed state — a single atomic cut, never
+// a torn mix of two commits — but consecutive reads may land on
+// different epochs as commits interleave. Callers needing several
+// reads from ONE cut use the snapshot API, which is deliberately not
+// part of Interface (a pinned epoch defers reclamation engine-side,
+// the wrong default for a remote handle): the local *Disk and
+// *ShardedDisk provide AcquireSnapshot, returning a pinned view that
+// answers identically until Release.
+//
+// Two network-specific notes:
 //
 //   - ARUs begun through a network client are owned by its
 //     connection. If the connection is lost mid-unit the server

@@ -95,9 +95,13 @@ func TestListsAndStatBlock(t *testing.T) {
 	}
 }
 
-// TestCacheBehaviour verifies hits after materialization and purges on
-// segment reuse.
-func TestCacheBehaviour(t *testing.T) {
+// TestReadPathPhysicalSources: the lock-free read path serves block
+// data from the published epoch — a buffered committed version costs no
+// device I/O; once the data is materialized and flushed it comes from a
+// pinned segment image or the device, byte for byte. (The block cache
+// no longer fronts Read: an LRU mutates on every hit, and the MVCC
+// read path does zero shared-state writes besides the epoch refcount.)
+func TestReadPathPhysicalSources(t *testing.T) {
 	p := Params{Layout: testLayout(64), CacheBlocks: 64}
 	dev := disk.NewMem(p.Layout.DiskBytes())
 	d, err := Format(dev, p)
@@ -109,25 +113,26 @@ func TestCacheBehaviour(t *testing.T) {
 	if err := d.Write(0, b, fill(d, 0x42)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Flush(); err != nil { // materializes + caches
-		t.Fatal(err)
-	}
 	reads := dev.Stats().Reads
 	buf := make([]byte, d.BlockSize())
+	if err := d.Read(0, b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Reads != reads {
+		t.Fatalf("read of a buffered committed version hit the device (%d -> %d)",
+			reads, dev.Stats().Reads)
+	}
+	if err := d.Flush(); err != nil { // materializes the buffer into the log
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
+		buf[0] = 0
 		if err := d.Read(0, b, buf); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if dev.Stats().Reads != reads {
-		t.Fatalf("reads of freshly materialized data hit the device (%d -> %d)",
-			reads, dev.Stats().Reads)
-	}
-	if d.Stats().CacheHits == 0 {
-		t.Fatal("no cache hits recorded")
-	}
-	if buf[0] != 0x42 {
-		t.Fatalf("cached contents wrong: %#x", buf[0])
+		if buf[0] != 0x42 {
+			t.Fatalf("materialized contents wrong: %#x", buf[0])
+		}
 	}
 }
 
@@ -199,8 +204,11 @@ func TestStatsAccounting(t *testing.T) {
 	if st.Writes != 4 || st.Reads != 1 || st.NewBlocks != 1 || st.NewLists != 1 {
 		t.Fatalf("op counters: %+v", st)
 	}
-	if st.CoalescedWrites < 2 {
-		t.Fatalf("repeated writes did not coalesce: %+v", st.CoalescedWrites)
+	if st.CoalescedWrites != 0 {
+		// In-place coalescing was removed with the MVCC read path: a
+		// published epoch may share the buffer, so every Write installs
+		// a fresh one.
+		t.Fatalf("writes coalesced in place: %+v", st.CoalescedWrites)
 	}
 	if st.ARUsBegun != 1 || st.ARUsCommitted != 1 {
 		t.Fatalf("ARU counters: begun %d committed %d", st.ARUsBegun, st.ARUsCommitted)

@@ -89,6 +89,7 @@ func (m mode) touchList(cl *altList, ts uint64) {
 func (d *LLD) BeginARU() (ARUID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return 0, ErrClosed
 	}
@@ -98,6 +99,7 @@ func (d *LLD) BeginARU() (ARUID, error) {
 	id := d.nextARU
 	d.nextARU++
 	d.arus[id] = d.getState(id)
+	d.arusDirty = true
 	d.stats.ARUsBegun.Add(1)
 	d.obs.Emit(obs.EvARUBegin, uint64(id), 0, 0)
 	return id, nil
@@ -123,6 +125,7 @@ func (d *LLD) EndARU(aru ARUID) error {
 func (d *LLD) EndARUTraced(aru ARUID, sc obs.SpanContext) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}
@@ -176,10 +179,16 @@ func (d *LLD) endARUOld(aru ARUID, st *aruState, trace, span uint64) error {
 	d.stampCommit(aru, trace, span)
 	d.ungate(st, cts)
 	delete(d.arus, aru)
+	d.arusDirty = true
 	d.putState(st)
 	d.stats.ARUsCommitted.Add(1)
 	d.obs.Emit(obs.EvARUCommit, uint64(aru), 0, 0)
+	// The commit is fully applied: maintenance below may publish
+	// intermediate epochs (cleaner batches) without exposing a
+	// half-merged state.
+	d.pubSafe = true
 	d.maybeMaintain()
+	d.pubSafe = false
 	return nil
 }
 
@@ -282,10 +291,13 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState, trace, span uint64, silent bool
 	d.ungate(st, cts)
 	d.discardShadow(st)
 	delete(d.arus, aru)
+	d.arusDirty = true
 	d.putState(st)
 	d.stats.ARUsCommitted.Add(1)
 	d.obs.Emit(obs.EvARUCommit, uint64(aru), replayed, 0)
+	d.pubSafe = true
 	d.maybeMaintain()
+	d.pubSafe = false
 	return nil
 }
 
@@ -296,6 +308,9 @@ func (d *LLD) endARUNew(aru ARUID, st *aruState, trace, span uint64, silent bool
 // at the commit record's timestamp).
 func (d *LLD) ungate(st *aruState, cts uint64) {
 	for _, cb := range st.touched {
+		if e, ok := d.blocks[cb.id]; ok {
+			d.snapDirtyBlock(e, cb.id) // rec.TS changes below
+		}
 		cb.commitTS = cts
 		cb.wtag = seg.SimpleARU // future materialization is committed
 		// The stashed pre-unit version is no longer needed: this
@@ -307,6 +322,9 @@ func (d *LLD) ungate(st *aruState, cts uint64) {
 		}
 	}
 	for _, cl := range st.touchedLists {
+		if e, ok := d.lists[cl.id]; ok {
+			d.snapDirtyList(e, cl.id)
+		}
 		cl.commitTS = cts
 	}
 	// Keep the slice capacity for the state's next life (pool.go);
@@ -362,6 +380,7 @@ func (d *LLD) discardShadow(st *aruState) {
 func (d *LLD) AbortARU(aru ARUID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}
@@ -378,6 +397,7 @@ func (d *LLD) AbortARU(aru ARUID) error {
 	}
 	d.discardShadow(st)
 	delete(d.arus, aru)
+	d.arusDirty = true
 	d.putState(st)
 	d.stats.ARUsAborted.Add(1)
 	d.obs.Emit(obs.EvARUAbort, uint64(aru), 0, 0)

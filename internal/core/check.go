@@ -19,6 +19,7 @@ import (
 func (d *LLD) CheckDisk() (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return 0, ErrClosed
 	}
@@ -70,56 +71,40 @@ func (d *LLD) FreeSegments() int {
 }
 
 // ListBlocks returns the members of list lst, in order, as seen from
-// the state of aru (SimpleARU for the committed view).
+// the state of aru (SimpleARU for the committed view). Lock-free: it
+// walks the current published epoch (snapshot.go).
 func (d *LLD) ListBlocks(aru ARUID, lst ListID) ([]BlockID, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.closed {
+	s := d.acquireSnap()
+	if s == nil {
 		return nil, ErrClosed
 	}
-	m, err := d.modeFor(aru)
+	defer s.release()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	view, err := s.viewFor(aru)
 	if err != nil {
 		return nil, err
 	}
-	lrec, ok := d.viewList(lst, m.viewID())
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchList, lst)
-	}
-	var out []BlockID
-	for cur := lrec.First; cur != NilBlock; {
-		out = append(out, cur)
-		crec, ok := d.viewBlock(cur, m.viewID())
-		if !ok {
-			return nil, fmt.Errorf("lld: list %d chain broken at block %d", lst, cur)
-		}
-		if len(out) > len(d.blocks)+1 {
-			return nil, fmt.Errorf("lld: list %d contains a cycle", lst)
-		}
-		cur = crec.Succ
-	}
-	return out, nil
+	return s.listBlocks(view, lst)
 }
 
 // Lists returns the identifiers of all lists visible in the state of
-// aru, in ascending order.
+// aru, in ascending order. Lock-free against the current epoch.
 func (d *LLD) Lists(aru ARUID) ([]ListID, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.closed {
+	s := d.acquireSnap()
+	if s == nil {
 		return nil, ErrClosed
 	}
-	m, err := d.modeFor(aru)
+	defer s.release()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	view, err := s.viewFor(aru)
 	if err != nil {
 		return nil, err
 	}
-	var out []ListID
-	for id := range d.lists {
-		if _, ok := d.viewList(id, m.viewID()); ok {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return s.listIDs(view), nil
 }
 
 // BlockInfo describes one block version for inspection.
@@ -132,18 +117,21 @@ type BlockInfo struct {
 }
 
 // StatBlock returns the effective record of a block in the state of
-// aru.
+// aru. Lock-free against the current epoch.
 func (d *LLD) StatBlock(aru ARUID, b BlockID) (BlockInfo, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.closed {
+	s := d.acquireSnap()
+	if s == nil {
 		return BlockInfo{}, ErrClosed
 	}
-	m, err := d.modeFor(aru)
+	defer s.release()
+	if s.closed {
+		return BlockInfo{}, ErrClosed
+	}
+	view, err := s.viewFor(aru)
 	if err != nil {
 		return BlockInfo{}, err
 	}
-	rec, ok := d.viewBlock(b, m.viewID())
+	rec, ok := s.viewBlockRec(b, view)
 	if !ok {
 		return BlockInfo{}, fmt.Errorf("%w: %d", ErrNoSuchBlock, b)
 	}

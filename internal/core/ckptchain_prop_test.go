@@ -149,7 +149,7 @@ func TestChainMaterializationEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sFull, sIncr := snapshot(t, rFull), snapshot(t, rIncr)
+		sFull, sIncr := logicalState(t, rFull), logicalState(t, rIncr)
 		if !reflect.DeepEqual(sFull, sIncr) {
 			t.Fatalf("seed %d: recovered states diverge", seed)
 		}
@@ -185,7 +185,7 @@ func TestParallelScanEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d, %d workers: %v", seed, workers, err)
 			}
-			return mounted{snapshot(t, r), rpt}
+			return mounted{logicalState(t, r), rpt}
 		}
 		serial := mount(1)
 		for _, workers := range []int{2, 8} {
@@ -253,14 +253,14 @@ func TestRecoveryIdempotence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s1 := snapshot(t, r1)
+		s1 := logicalState(t, r1)
 		// Second recovery over the image the first recovery left behind
 		// (including any writes it issued).
 		r2, err := Open(disk.FromImage(dev1.Image(), disk.Geometry{}), p)
 		if err != nil {
 			t.Fatalf("seed %d: re-recovery failed: %v", seed, err)
 		}
-		s2 := snapshot(t, r2)
+		s2 := logicalState(t, r2)
 		if !reflect.DeepEqual(s1, s2) {
 			t.Fatalf("seed %d: re-recovery diverged from first recovery", seed)
 		}

@@ -22,6 +22,9 @@ func (d *LLD) Clean(target int) (int, error) {
 	if len(d.arus) != 0 {
 		return 0, fmt.Errorf("%w: cannot clean with open ARUs", ErrARUActive)
 	}
+	defer d.publishLocked()
+	d.pubSafe = true
+	defer func() { d.pubSafe = false }()
 	return d.cleanLocked(target), nil
 }
 
@@ -73,6 +76,13 @@ func (d *LLD) cleanLocked(target int) int {
 		}
 		cleaned += relocated
 		d.stats.SegmentsCleaned.Add(int64(relocated))
+		if d.pubSafe {
+			// Each flush+checkpoint cycle leaves an op-consistent state:
+			// publish it so long cleaner passes do not starve readers of
+			// fresh epochs (and so drained snapshots purge, freeing the
+			// segments they pin).
+			d.publishLocked()
+		}
 		if d.reusableCount() <= before {
 			// No net space gained: the victims are so full that
 			// relocation consumes as much as it frees. Stop rather

@@ -249,11 +249,11 @@ func TestCleanerEquivalence(t *testing.T) {
 	if err := d.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	before := snapshot(t, d)
+	before := logicalState(t, d)
 	if _, err := d.Clean(48); err != nil {
 		t.Fatal(err)
 	}
-	after := snapshot(t, d)
+	after := logicalState(t, d)
 	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("cleaning changed the logical state")
 	}

@@ -527,3 +527,73 @@ func TestStatsSnapshotCoherence(t *testing.T) {
 		t.Fatalf("quiescent snapshot lost writes: %d, want %d", st.Writes, rounds+1)
 	}
 }
+
+// TestStatsAllocCommitCoherence pins the allocation/commit coupling of
+// the Stats snapshot (see LLD.Stats): with one committer creating
+// exactly k blocks inside every ARU, a sampler running full tilt must
+// never observe a counter pair implying a torn epoch — NewBlocks below
+// k·ARUsCommitted would mean a commit became visible before the
+// allocations it contains, NewBlocks above k·ARUsBegun an allocation
+// from an ARU that does not exist yet. At quiescence the relation
+// collapses to equality.
+func TestStatsAllocCommitCoherence(t *testing.T) {
+	d, _ := newTestLLD(t, Params{Layout: testLayout(256)})
+	lst, _ := d.NewList(0)
+	base := d.Stats()
+
+	const (
+		k      = 3
+		rounds = 100
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			a, err := d.BeginARU()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < k; j++ {
+				b, err := d.NewBlock(a, lst, NilBlock)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.Write(a, b, fill(d, byte(r))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := d.EndARU(a); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 2000; i++ {
+		st := d.Stats()
+		nb := st.NewBlocks - base.NewBlocks
+		committed := st.ARUsCommitted - base.ARUsCommitted
+		begun := st.ARUsBegun - base.ARUsBegun
+		if nb < k*committed {
+			t.Fatalf("sample %d: NewBlocks %d < %d·ARUsCommitted %d (commit visible before its allocations)",
+				i, nb, k, committed)
+		}
+		if nb > k*begun {
+			t.Fatalf("sample %d: NewBlocks %d > %d·ARUsBegun %d (allocation from an unborn ARU)",
+				i, nb, k, begun)
+		}
+	}
+	wg.Wait()
+
+	st := d.Stats()
+	if nb := st.NewBlocks - base.NewBlocks; nb != k*rounds {
+		t.Fatalf("quiescent NewBlocks %d, want %d", nb, k*rounds)
+	}
+	if c := st.ARUsCommitted - base.ARUsCommitted; c != rounds {
+		t.Fatalf("quiescent ARUsCommitted %d, want %d", c, rounds)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+// Persistent (immutable, structurally shared) map from uint64 ids to
+// snapshot values, used for the MVCC block-map and list-table. Each
+// epoch's map is a 16-ary trie descending on the low nibble of the id;
+// an update path-copies the O(log16 n) nodes from the root to the leaf
+// and shares everything else with the previous epoch, so publishing a
+// new epoch after k mutations costs O(k log n) nodes, not O(n).
+//
+// Nodes replaced by an update are retired into the engine's current
+// retire-set rather than dropped, so readers holding an older snapshot
+// keep a consistent trie and the nodes recycle through a pool once the
+// old epoch's refcount drains (see snapshot.go). Readers never mutate
+// a node; writers only mutate nodes they allocated in the same publish.
+type pnode struct {
+	leaf bool
+	key  uint64
+	val  any
+	kids [16]*pnode
+}
+
+// pmapGet returns the value stored for key, or nil.
+func pmapGet(root *pnode, key uint64) any {
+	n := root
+	k := key
+	for n != nil {
+		if n.leaf {
+			if n.key == key {
+				return n.val
+			}
+			return nil
+		}
+		n = n.kids[k&0xf]
+		k >>= 4
+	}
+	return nil
+}
+
+// pmapSet returns a new root with key bound to val, path-copying from
+// the old root. Replaced nodes are retired into the current retire-set.
+func (d *LLD) pmapSet(root *pnode, key uint64, val any) *pnode {
+	return d.pmapSetAt(root, key, 0, val)
+}
+
+func (d *LLD) pmapSetAt(n *pnode, key uint64, shift uint, val any) *pnode {
+	if n == nil {
+		nn := d.takeNode()
+		nn.leaf, nn.key, nn.val = true, key, val
+		return nn
+	}
+	if n.leaf {
+		if n.key == key {
+			nn := d.takeNode()
+			nn.leaf, nn.key, nn.val = true, key, val
+			d.retireNode(n)
+			return nn
+		}
+		// Split: the existing leaf moves down under a fresh interior
+		// node (possibly recursively, while the two keys share
+		// nibbles). The displaced leaf is shared, not copied.
+		branch := d.takeNode()
+		branch.kids[(n.key>>shift)&0xf] = n
+		idx := (key >> shift) & 0xf
+		branch.kids[idx] = d.pmapSetAt(branch.kids[idx], key, shift+4, val)
+		return branch
+	}
+	nn := d.takeNode()
+	*nn = *n
+	idx := (key >> shift) & 0xf
+	nn.kids[idx] = d.pmapSetAt(n.kids[idx], key, shift+4, val)
+	d.retireNode(n)
+	return nn
+}
+
+// pmapDelete returns a new root with key removed (no-op if absent).
+// Emptied interior nodes contract to nil so the trie does not grow
+// monotonically under create/delete churn.
+func (d *LLD) pmapDelete(root *pnode, key uint64) *pnode {
+	return d.pmapDelAt(root, key, 0)
+}
+
+func (d *LLD) pmapDelAt(n *pnode, key uint64, shift uint) *pnode {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		if n.key == key {
+			d.retireNode(n)
+			return nil
+		}
+		return n
+	}
+	idx := (key >> shift) & 0xf
+	child := n.kids[idx]
+	nc := d.pmapDelAt(child, key, shift+4)
+	if nc == child {
+		return n
+	}
+	nn := d.takeNode()
+	*nn = *n
+	nn.kids[idx] = nc
+	d.retireNode(n)
+	if nc == nil {
+		empty := true
+		for _, c := range nn.kids {
+			if c != nil {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			d.retireNode(nn)
+			return nil
+		}
+	}
+	return nn
+}
+
+// pmapWalk calls fn for every (key, value) pair in the trie. Order is
+// unspecified. fn returning false stops the walk.
+func pmapWalk(root *pnode, fn func(key uint64, val any) bool) bool {
+	if root == nil {
+		return true
+	}
+	if root.leaf {
+		return fn(root.key, root.val)
+	}
+	for _, c := range root.kids {
+		if c != nil && !pmapWalk(c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// takeNode returns a zeroed trie node from the pool (or fresh).
+func (d *LLD) takeNode() *pnode {
+	if n := len(d.freeNodes); n > 0 {
+		nd := d.freeNodes[n-1]
+		d.freeNodes[n-1] = nil
+		d.freeNodes = d.freeNodes[:n-1]
+		return nd
+	}
+	return &pnode{}
+}
+
+// retireNode parks a node replaced by a path-copy on the current
+// retire-set; it recycles into freeNodes when the epoch drains.
+func (d *LLD) retireNode(n *pnode) {
+	d.ret.nodes = append(d.ret.nodes, n)
+}
+
+// freeNode recycles a drained node into the pool (purge path only).
+func (d *LLD) freeNode(n *pnode) {
+	if len(d.freeNodes) >= maxFreeNodes {
+		return
+	}
+	*n = pnode{}
+	d.freeNodes = append(d.freeNodes, n)
+}
+
+const maxFreeNodes = 4096

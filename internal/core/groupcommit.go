@@ -160,6 +160,7 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 		return ErrClosed
 	}
 	if err := d.sealBatchLocked(); err != nil {
+		d.publishLocked()
 		d.mu.Unlock()
 		return err
 	}
@@ -187,6 +188,10 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 	}
 	needSync := len(work) > 0 || d.devDirty
 	wgen := d.wgen
+	// Publish the sealed state before releasing the lock: readers that
+	// race the batch I/O must already see the sealed images (and the
+	// promoted records the seal produced).
+	d.publishLocked()
 	d.mu.Unlock()
 
 	if !needSync {
@@ -240,6 +245,7 @@ func (d *LLD) leadBatch(bat *gcBatch) error {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if ioErr != nil {
 		// Leave every entry queued: written segments keep their flag so
 		// the next batch only re-syncs them, and no commit is
@@ -309,12 +315,12 @@ func (d *LLD) sealBatchLocked() error {
 	// Double buffering: the sealed image aliases the old builder's
 	// buffer, so hand the builder to the entry and continue on a spare.
 	d.builder = d.takeBuilder()
+	d.curSeg = -1 // no open segment until the pick below succeeds
 	next, err := d.pickSeg()
 	if err != nil {
 		// Out of reusable segments for the *next* seal. The sealed
 		// entry stays queued (the batch still writes it); the open
 		// segment is re-picked lazily by ensureRoom once space frees.
-		d.curSeg = -1
 		return err
 	}
 	d.curSeg = next
@@ -399,7 +405,11 @@ func (d *LLD) finishBatchLocked(work []*sealedSeg, synced bool, wgen uint64, bt 
 			}
 		}
 	}
+	// The batch is fully applied: maintenance may publish intermediate
+	// epochs (checkpoint, cleaner batches).
+	d.pubSafe = true
 	d.maybeMaintain()
+	d.pubSafe = false
 }
 
 // writeSealedLocked writes every not-yet-written sealed segment to the
@@ -495,9 +505,17 @@ func (d *LLD) takeBuilder() *seg.Builder {
 	return seg.NewBuilder(d.params.Layout)
 }
 
-// putBuilder resets a retired builder and pools it for the next seal.
-// Caller holds d.mu.
+// putBuilder retires a builder whose segment was written: published
+// epochs may still read its committed slots (directly, or through a
+// sealed image aliasing its buffer), so the Reset is deferred to
+// recycleBuilder when the retiring epoch drains. Caller holds d.mu.
 func (d *LLD) putBuilder(b *seg.Builder) {
+	d.ret.builders = append(d.ret.builders, b)
+}
+
+// recycleBuilder resets a drained builder and pools it for the next
+// seal (purge path only). Caller holds d.mu.
+func (d *LLD) recycleBuilder(b *seg.Builder) {
 	if len(d.spareBuilders) >= 4 {
 		return // cap the pool; the steady state needs at most a couple
 	}

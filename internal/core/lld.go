@@ -27,15 +27,19 @@
 //
 // # Concurrency
 //
-// All exported methods are safe for concurrent use. Read-only
-// operations (Read, ListBlocks, Lists, StatBlock, Stats, Segments and
-// friends) hold only a shared read lock and proceed in parallel with
-// each other — including simple reads of the committed state next to
-// intra-ARU shadow reads — while mutating operations serialize behind
-// the write lock. As in the paper, the disk system performs no
-// concurrency control between clients: two ARUs may update the same
-// block and the commit order decides. Clients that need isolation must
-// lock above the LD interface.
+// All exported methods are safe for concurrent use. The hot read-only
+// operations — Read, ListBlocks, Lists, StatBlock and Stats — take no
+// lock at all: every committed mutation publishes an immutable
+// copy-on-write snapshot of the block-map, list-table and open-ARU
+// set behind a single atomic epoch-head pointer, and a reader pins
+// the current epoch with one atomic load plus a refcount increment
+// (snapshot.go, DESIGN.md §16). Mutating operations serialize behind
+// the engine write lock and swing the head at their completion point;
+// a handful of inspection helpers (VerifyInternal, Segments,
+// ActiveARUs, …) still take a shared read lock. As in the paper, the
+// disk system performs no concurrency control between clients: two
+// ARUs may update the same block and the commit order decides.
+// Clients that need isolation must lock above the LD interface.
 package core
 
 import (
@@ -193,6 +197,13 @@ type Params struct {
 	// set it in production. Serial flushes (NoGroupCommit) are not
 	// affected.
 	UnsafeAckBeforeSync bool
+	// UnsafeStaleHeadEvery, when n > 0, silently drops every n-th
+	// epoch publish, so lock-free readers keep being served the
+	// previous (stale) snapshot past the operation's completion. It
+	// exists solely so the linearizability checker
+	// (internal/linearize) can prove it detects stale-read bugs;
+	// never set it in production.
+	UnsafeStaleHeadEvery int
 	// UnsafeTornDeltaPublish makes the checkpoint writer skip the
 	// publish barrier: the chain record is written but the checkpoint
 	// watermark (which unlocks segment reuse) advances without
@@ -201,6 +212,14 @@ type Params struct {
 	// the torn-delta bug the crash-state checker's `-inject
 	// torn-delta` knob must catch. Never set it in production.
 	UnsafeTornDeltaPublish bool
+	// RecoveryProbe is test instrumentation: Open invokes it once per
+	// mount, after the crash image's tables are rebuilt but before the
+	// first epoch publish. The crash-state checker uses it to assert
+	// that reads during replay fail cleanly (the snapshot head does
+	// not exist yet, so AcquireSnapshot must return ErrClosed). The
+	// probe may only call AcquireSnapshot/OpenSnapshots — the engine
+	// is mid-construction and nothing else is safe to touch.
+	RecoveryProbe func(d *LLD)
 
 	// NoGroupCommit disables the group-commit broker: Flush reverts to
 	// the serial path that holds the engine lock across the device
@@ -304,6 +323,10 @@ type Stats struct {
 	Flushes                    int64 // Flush calls (durability requests)
 	CommitBatches              int64 // group-commit batches that wrote segments
 	BatchedCommits             int64 // commit records made durable via batches
+	EpochsPublished            int64 // MVCC epochs published (head swings)
+	SnapshotsPurged            int64 // retired epochs drained and recycled
+	PurgeRetries               int64 // purge sweeps stopped by a pinned epoch
+	SnapshotAge                int64 // current − oldest live epoch (gauge)
 }
 
 // LLD is a log-structured logical disk with atomic recovery units.
@@ -445,4 +468,42 @@ type LLD struct {
 	matScratch  []matItem
 	matSort     matSorter
 	gcWork      []*sealedSeg
+
+	// MVCC epoch state (snapshot.go, DESIGN.md §16). head is the only
+	// field lock-free readers load; everything else is guarded by mu
+	// except the atomics noted.
+	head        atomic.Pointer[snapshot]
+	devSh       sharedReader // dev's lock-free read interface, if any
+	snapOldest  *snapshot    // oldest retired-but-undrained epoch
+	epoch       uint64       // epoch number of the current head
+	oldestEpoch atomic.Uint64
+	invalid     atomic.Bool // set by Invalidate (crash simulation)
+	openSnaps   atomic.Int64
+	// Dirty sets: entries touched since the last publish, whose trie
+	// leaves the next publish rebuilds. arusDirty covers the (small)
+	// open-ARU table wholesale.
+	dirtyB    []BlockID
+	dirtyL    []ListID
+	arusDirty bool
+	// Roots of the persistent tries the NEXT publish will expose;
+	// between publishes they may run ahead of head's roots.
+	blocksRoot *pnode
+	listsRoot  *pnode
+	arusRoot   *pnode
+	// ret accumulates everything the current window unshared; it is
+	// attached to the outgoing epoch at publish.
+	ret       *retireSet
+	spareRets []*retireSet
+	// segFreeEpoch[s] is the epoch that must drain before segment s
+	// may be rewritten: stamped d.epoch+1 whenever a reference into s
+	// is dropped, because snapshots up to the next publish may still
+	// read s's old bytes (see segReusable).
+	segFreeEpoch []uint64
+	pubSkip      int  // UnsafeStaleHeadEvery counter
+	pubSafe      bool // mid-maintenance publishes allowed (op-consistent)
+	// Snapshot-machinery pools (drained-epoch recycling).
+	freeNodes  []*pnode
+	freeSnaps  []*snapshot
+	freeBSnaps []*blockSnap
+	freeLSnaps []*listSnap
 }

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"aru/internal/obs"
@@ -56,6 +55,14 @@ func (d *LLD) growthAllowed() bool {
 	if d.params.GrowthReserve < 0 {
 		return true
 	}
+	if d.freeCache >= d.params.GrowthReserve {
+		return true
+	}
+	// The cache was computed at the last segment write, possibly while
+	// freshly freed segments were still epoch-gated (segReusable); any
+	// publish since then may have unlocked them, so rescan before
+	// refusing growth.
+	d.freeCache = d.reusableCount()
 	return d.freeCache >= d.params.GrowthReserve
 }
 
@@ -200,7 +207,17 @@ func (d *LLD) writeCurSeg() error {
 	d.segsSinceC++
 	d.durableTS = d.lastTS()
 	d.promote()
-	d.builder.Reset()
+	// Published snapshots may still serve reads from this builder's
+	// buffer (snapshot.readPhys via curBld), so it retires with the
+	// current epoch instead of being reset in place; recycleBuilder
+	// resets it once no snapshot can reach it.
+	d.putBuilder(d.builder)
+	d.builder = d.takeBuilder()
+	// No open segment until the next pick succeeds: the one just
+	// written lives on the device now, and a publish from pickSeg's
+	// retry path must not pin the empty replacement builder under the
+	// written segment's index.
+	d.curSeg = -1
 	next, err := d.pickSeg()
 	if err != nil {
 		return err
@@ -238,12 +255,13 @@ func (d *LLD) maybeMaintain() {
 	}
 }
 
-// segReusable reports whether segment s may be (re)written: it is not
-// the current segment, holds no live persistent blocks, is not pinned
-// by alternative records, and — if it was ever written — lies at or
-// below the checkpoint watermark (so its summary entries are already
-// subsumed by the checkpoint tables and recovery will not miss them).
-func (d *LLD) segReusable(s int) bool {
+// segFreeable reports whether segment s holds no state the log still
+// needs: it is not the current segment, holds no live persistent
+// blocks, is not pinned by alternative records, and — if it was ever
+// written — lies at or below the checkpoint watermark (so its summary
+// entries are already subsumed by the checkpoint tables and recovery
+// will not miss them).
+func (d *LLD) segFreeable(s int) bool {
 	if s == d.curSeg {
 		return false
 	}
@@ -263,11 +281,32 @@ func (d *LLD) segReusable(s int) bool {
 	return d.segSeq[s] == 0 || d.segSeq[s] <= d.ckptSeq
 }
 
-// reusableCount counts reusable segments.
+// segReusable reports whether segment s may be (re)written right now:
+// freeable, and drained of snapshot readers.
+func (d *LLD) segReusable(s int) bool {
+	if !d.segFreeable(s) {
+		return false
+	}
+	if d.oldestEpoch.Load() < d.segFreeEpoch[s] {
+		// A published snapshot from before the segment's blocks were
+		// freed could still read its old contents from the device;
+		// rewriting it would tear those lock-free reads. The segment
+		// frees once every epoch before segFreeEpoch[s] has purged.
+		return false
+	}
+	return true
+}
+
+// reusableCount counts freeable segments — the space-accounting view.
+// A segment gated only by the snapshot epoch (segReusable) still
+// counts: the gate lifts at the next op boundary's publish without any
+// new I/O, so policy decisions (cleaner low-water and progress, the
+// growth reserve) must not treat a merely undrained segment as
+// occupied, or they over-clean and refuse growth the disk can absorb.
 func (d *LLD) reusableCount() int {
 	n := 0
 	for s := 0; s < d.params.Layout.NumSegs; s++ {
-		if d.segReusable(s) {
+		if d.segFreeable(s) {
 			n++
 		}
 	}
@@ -276,27 +315,48 @@ func (d *LLD) reusableCount() int {
 
 // pickSeg selects the next segment to fill: never-written segments
 // first, then the oldest reusable one. Reusing a previously written
-// segment drops any cached blocks of its old contents.
+// segment drops any cached blocks of its old contents. If nothing is
+// reusable, drained snapshot epochs are purged (releasing their
+// segment pins) and the scan retried once before reporting ErrNoSpace.
 func (d *LLD) pickSeg() (int, error) {
-	best, bestSeq := -1, ^uint64(0)
+	best := d.scanReusable()
+	if best == -2 {
+		// At an op-consistent point, publish first: segments freed in
+		// the current window are stamped past the live epoch and only
+		// unlock once a fresh epoch is published and drained. Mid-op,
+		// purging drained epochs is all that is safe.
+		if d.pubSafe {
+			d.publishLocked()
+		} else {
+			d.purgeLocked()
+		}
+		best = d.scanReusable()
+	}
+	if best < 0 {
+		return 0, ErrNoSpace
+	}
+	if d.segSeq[best] != 0 && d.cache != nil {
+		d.cache.purgeSeg(uint32(best))
+	}
+	return best, nil
+}
+
+// scanReusable returns the best segment to fill next (-2 if none):
+// never-written segments first, then the oldest reusable one.
+func (d *LLD) scanReusable() int {
+	best, bestSeq := -2, ^uint64(0)
 	for s := 0; s < d.params.Layout.NumSegs; s++ {
 		if !d.segReusable(s) {
 			continue
 		}
 		if d.segSeq[s] == 0 {
-			return s, nil
+			return s
 		}
 		if d.segSeq[s] < bestSeq {
 			best, bestSeq = s, d.segSeq[s]
 		}
 	}
-	if best < 0 {
-		return 0, ErrNoSpace
-	}
-	if d.cache != nil {
-		d.cache.purgeSeg(uint32(best))
-	}
-	return best, nil
+	return best
 }
 
 // promote moves every committed record whose commit timestamp is now
@@ -339,6 +399,7 @@ func (d *LLD) promoteBlock(ab *altBlock) {
 	e := d.blocks[ab.id]
 	if e.persist != nil && e.persist.HasData {
 		d.segLive[e.persist.Seg]--
+		d.segFreeEpoch[e.persist.Seg] = d.epoch + 1
 		if d.sealFrees != nil {
 			// Promotion driven by a broker seal: remember which
 			// segments lost live blocks so they stay quarantined from
@@ -427,105 +488,155 @@ type physKey struct {
 	seg, slot uint32
 }
 
-// cacheShards is the stripe count of the block cache. A small power of
-// two: enough that concurrent readers rarely collide on one stripe,
-// small enough that the per-stripe LRUs stay a useful size.
-const cacheShards = 8
-
-// blockCache is a striped LRU cache of persistent block contents.
+// blockCache is a lock-free, fully associative cache of persistent
+// block contents, shared by the locked engine paths and the MVCC
+// snapshot readers (DESIGN.md §16).
 //
-// It is the one mutable structure the read path touches while holding
-// only the engine's read lock (an LRU mutates on every hit), so it
-// carries its own locking: entries hash across cacheShards
-// independently locked LRUs, and two readers contend only when their
-// blocks land on the same stripe. Writers (materialization, segment
-// reuse) use the same stripe locks.
+// Layout: an open-addressed hash table of atomic entry pointers kept
+// at a low load factor (cacheOver slots per cached block, probes
+// bounded at cacheProbe), plus a FIFO ring of keys that bounds
+// residency at the configured capacity — a fill claims the next ring
+// position with one atomic add and evicts whatever key it displaces.
+// Every operation is mutexes-free: a probe is a handful of atomic
+// loads, a fill is an atomic swap on the ring plus an atomic store
+// into the table. That keeps the snapshot read path at zero mutex
+// acquisitions (the property the readscale gate asserts), and — unlike
+// a set-associative table — a working set up to the capacity stays
+// fully resident, which the modeled fig5/fig6 read phases depend on:
+// the striped LRU this replaces served them entirely from memory, and
+// conflict misses would each cost a modeled disk access.
+//
+// Concurrent fills from snapshot readers are safe without further
+// synchronization: entries are immutable, every slot transition is an
+// atomic store or CAS, and a lost race costs at most one cache entry
+// (strictly weaker residency, never a wrong answer). Staleness is
+// ruled out by the epoch discipline — a reader fills (seg, slot) only
+// while its epoch pins that segment against reuse (segFreeEpoch), and
+// purgeSeg runs under d.mu at reuse time, before any record naming
+// the segment's new contents is published, so no published record can
+// lead a reader to a pre-reuse entry.
 type blockCache struct {
-	shards [cacheShards]cacheShard
+	slots  []atomic.Pointer[cacheEnt] // power-of-two open-addressed table
+	mask   uint32
+	ring   []atomic.Uint64 // FIFO of packed keys; 0 = empty
+	cursor atomic.Uint64   // next ring position to claim
 }
 
-type cacheShard struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *cacheEnt
-	byKey map[physKey]*list.Element
-}
+const (
+	// cacheOver is the table-slot overprovisioning factor. At load
+	// factor 1/cacheOver a cacheProbe-long window essentially never
+	// fills, so fills are effectively never dropped below capacity.
+	cacheOver = 4
+	// cacheProbe bounds the linear-probe window. Lookups scan the
+	// whole window (evictions punch holes, so a nil slot cannot end a
+	// probe); hits usually land within the first couple of slots.
+	cacheProbe = 16
+)
 
 type cacheEnt struct {
 	key  physKey
-	data []byte
+	data []byte // immutable once the entry is published
+}
+
+// packKey biases the key by one so the ring's zero value means empty
+// (seg 0, slot 0 is a valid physical location).
+func packKey(k physKey) uint64 { return uint64(k.seg)<<32 | uint64(k.slot) + 1 }
+
+func unpackKey(p uint64) physKey {
+	p--
+	return physKey{seg: uint32(p >> 32), slot: uint32(p)}
 }
 
 func newBlockCache(capBlocks int) *blockCache {
 	if capBlocks <= 0 {
 		return nil
 	}
-	per := (capBlocks + cacheShards - 1) / cacheShards
-	c := &blockCache{}
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.cap = per
-		sh.order = list.New()
-		sh.byKey = make(map[physKey]*list.Element, per)
+	n := 1
+	for n < capBlocks*cacheOver {
+		n <<= 1
 	}
-	return c
+	return &blockCache{
+		slots: make([]atomic.Pointer[cacheEnt], n),
+		mask:  uint32(n - 1),
+		ring:  make([]atomic.Uint64, capBlocks),
+	}
 }
 
-// shard maps a physical location onto its stripe. Fibonacci hashing
-// spreads the low, strongly patterned seg/slot bits.
-func (c *blockCache) shard(k physKey) *cacheShard {
-	h := (k.seg*0x9e3779b9 + k.slot) * 0x9e3779b9
-	return &c.shards[h>>29] // top 3 bits index the 8 stripes
+// hash spreads the low, strongly patterned seg/slot bits (Fibonacci).
+func cacheHash(k physKey) uint32 {
+	return (k.seg*0x9e3779b9 + k.slot) * 0x9e3779b9
 }
 
 func (c *blockCache) get(segIdx, slot uint32, dst []byte) bool {
-	sh := c.shard(physKey{segIdx, slot})
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	el, ok := sh.byKey[physKey{segIdx, slot}]
-	if !ok {
-		return false
+	k := physKey{segIdx, slot}
+	h := cacheHash(k)
+	for i := uint32(0); i < cacheProbe; i++ {
+		if e := c.slots[(h+i)&c.mask].Load(); e != nil && e.key == k {
+			copy(dst, e.data)
+			return true
+		}
 	}
-	sh.order.MoveToFront(el)
-	copy(dst, el.Value.(*cacheEnt).data)
-	return true
+	return false
 }
 
 func (c *blockCache) put(segIdx, slot uint32, data []byte) {
 	k := physKey{segIdx, slot}
-	sh := c.shard(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.byKey[k]; ok {
-		copy(el.Value.(*cacheEnt).data, data)
-		sh.order.MoveToFront(el)
-		return
-	}
-	for sh.order.Len() >= sh.cap {
-		last := sh.order.Back()
-		delete(sh.byKey, last.Value.(*cacheEnt).key)
-		sh.order.Remove(last)
-	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	sh.byKey[k] = sh.order.PushFront(&cacheEnt{key: k, data: cp})
+	ent := &cacheEnt{key: k, data: cp}
+
+	// Claim a ring position and evict whatever key it held: residency
+	// never exceeds the ring's capacity (a concurrent duplicate of the
+	// same key only tightens that bound — its earlier ring entry
+	// evicts the key sooner, never late).
+	pos := c.cursor.Add(1) - 1
+	if old := c.ring[pos%uint64(len(c.ring))].Swap(packKey(k)); old != 0 && old != packKey(k) {
+		c.drop(unpackKey(old))
+	}
+
+	h := cacheHash(k)
+	firstNil := -1
+	for i := uint32(0); i < cacheProbe; i++ {
+		p := &c.slots[(h+i)&c.mask]
+		e := p.Load()
+		if e == nil {
+			if firstNil < 0 {
+				firstNil = int(i)
+			}
+			continue
+		}
+		if e.key == k {
+			p.Store(ent) // refresh in place
+			return
+		}
+	}
+	if firstNil >= 0 {
+		// CAS so a racing fill of a different key into the same hole is
+		// not clobbered; on failure the fill is simply dropped.
+		c.slots[(h+uint32(firstNil))&c.mask].CompareAndSwap(nil, ent)
+	}
 }
 
-// purgeSeg drops all cached blocks of one segment (called when the
-// segment is about to be rewritten with new contents).
-func (c *blockCache) purgeSeg(segIdx uint32) {
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for el := sh.order.Front(); el != nil; {
-			next := el.Next()
-			ent := el.Value.(*cacheEnt)
-			if ent.key.seg == segIdx {
-				delete(sh.byKey, ent.key)
-				sh.order.Remove(el)
-			}
-			el = next
+// drop removes k's table entry (eviction; one CAS attempt — a racing
+// replacement of the same slot may keep it, costing residency only).
+func (c *blockCache) drop(k physKey) {
+	h := cacheHash(k)
+	for i := uint32(0); i < cacheProbe; i++ {
+		p := &c.slots[(h+i)&c.mask]
+		if e := p.Load(); e != nil && e.key == k {
+			p.CompareAndSwap(e, nil)
+			return
 		}
-		sh.mu.Unlock()
+	}
+}
+
+// purgeSeg drops all cached blocks of one segment (called under d.mu
+// when the segment is about to be rewritten with new contents). Stale
+// ring entries for the purged keys remain and later evict nothing.
+func (c *blockCache) purgeSeg(segIdx uint32) {
+	for i := range c.slots {
+		if e := c.slots[i].Load(); e != nil && e.key.seg == segIdx {
+			c.slots[i].CompareAndSwap(e, nil)
+		}
 	}
 }

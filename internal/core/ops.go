@@ -11,10 +11,12 @@ import (
 // (SimpleARU reads the committed state), into dst. dst must be exactly
 // one block long. An allocated block that has never been written reads
 // as zeroes.
-// Read holds only the read lock: concurrent reads — simple or inside
-// an ARU — proceed in parallel. Everything it touches is stable while
-// the read lock is held, except the stats counters (atomic), the
-// block cache (internally locked) and the tracer (lock-free).
+// Read takes no lock at all: it pins the current MVCC epoch with one
+// atomic load plus a refcount increment and resolves entirely against
+// that immutable snapshot (snapshot.go) — in-memory versions, pinned
+// segment images, or the device through its lock-free read interface.
+// The only shared state it mutates are the refcount and the atomic
+// stats counters.
 func (d *LLD) Read(aru ARUID, b BlockID, dst []byte) error {
 	o := d.obs
 	if o == nil {
@@ -30,24 +32,23 @@ func (d *LLD) Read(aru ARUID, b BlockID, dst []byte) error {
 }
 
 func (d *LLD) read(aru ARUID, b BlockID, dst []byte) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.closed {
+	s := d.acquireSnap()
+	if s == nil {
 		return ErrClosed
 	}
-	if len(dst) != d.params.Layout.BlockSize {
-		return fmt.Errorf("%w: Read buffer is %d bytes, block size is %d", ErrBadParam, len(dst), d.params.Layout.BlockSize)
+	defer s.release()
+	if s.closed {
+		return ErrClosed
 	}
-	m, err := d.modeFor(aru)
+	if len(dst) != s.bs {
+		return fmt.Errorf("%w: Read buffer is %d bytes, block size is %d", ErrBadParam, len(dst), s.bs)
+	}
+	view, err := s.viewFor(aru)
 	if err != nil {
 		return err
 	}
 	d.stats.Reads.Add(1)
-	view, anyShadow := d.readViewFor(m)
-	if anyShadow {
-		return d.readAnyShadow(b, dst)
-	}
-	return d.readView(b, view, dst)
+	return s.readBlock(view, b, dst)
 }
 
 // readView copies the contents of b, as seen from the given state, into
@@ -118,6 +119,7 @@ func (d *LLD) Write(aru ARUID, b BlockID, data []byte) error {
 func (d *LLD) write(aru ARUID, b BlockID, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}
@@ -150,18 +152,15 @@ func (d *LLD) write(aru ARUID, b BlockID, data []byte) error {
 	}
 	ts := d.tick()
 	gating := m.tracked != nil
-	if wb.data != nil && !(gating && wb.commitTS != gateOpen) {
-		// Same-stream overwrite: the newer version replaces the older
-		// in place (no stash needed — either both belong to the merged
-		// stream, or both to the same still-open unit).
-		copy(wb.data, data)
-		wb.wtag = m.tag
-		d.stats.CoalescedWrites.Add(1)
-	} else {
-		buf := d.getBuf()
-		copy(buf, data)
-		d.setBlockData(wb, buf, m.tag, gating)
-	}
+	// Always install a fresh buffer: a published epoch shares the old
+	// one with lock-free readers, so an in-place overwrite would tear
+	// their reads. setBlockData retires the replaced buffer into the
+	// current epoch's retire-set (the in-place coalescing this
+	// replaces predates the MVCC read path; CoalescedWrites is
+	// retained in Stats but stays zero).
+	buf := d.getBuf()
+	copy(buf, data)
+	d.setBlockData(wb, buf, m.tag, gating)
 	wb.rec.TS = ts
 	m.touchBlock(wb, ts)
 	d.stats.Writes.Add(1)
@@ -177,6 +176,7 @@ func (d *LLD) write(aru ARUID, b BlockID, data []byte) error {
 func (d *LLD) NewBlock(aru ARUID, lst ListID, pred BlockID) (BlockID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return NilBlock, ErrClosed
 	}
@@ -226,6 +226,7 @@ func (d *LLD) NewBlock(aru ARUID, lst ListID, pred BlockID) (BlockID, error) {
 func (d *LLD) NewList(aru ARUID) (ListID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return NilList, ErrClosed
 	}
@@ -255,6 +256,7 @@ func (d *LLD) NewList(aru ARUID) (ListID, error) {
 func (d *LLD) DeleteBlock(aru ARUID, b BlockID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}
@@ -278,6 +280,7 @@ func (d *LLD) DeleteBlock(aru ARUID, b BlockID) error {
 func (d *LLD) DeleteList(aru ARUID, lst ListID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}

@@ -18,13 +18,13 @@ package core
 //     both. Transfers (shadow→committed merge in endARUNew, data→
 //     prevData in stashPrev) move the buffer without recycling it;
 //     every other release goes through putBuf.
-//   - A buffer becomes dead — and is recycled — the moment its slot is
-//     dropped (dropBlockData/dropPrevData) or replaced (setBlockData).
-//     This is safe because every consumer copies: seg.Builder.AddBlock
-//     and blockCache.put snapshot the contents, and Read copies into
-//     the caller's buffer before d.mu is released. A recycled buffer
-//     therefore never aliases a sealed segment image or a retained
-//     read.
+//   - A buffer becomes dead the moment its slot is dropped
+//     (dropBlockData/dropPrevData) or replaced (setBlockData) — but
+//     because published epochs share live buffers with lock-free
+//     readers (snapshot.go), putBuf parks it on the current
+//     retire-set instead of the free list. It recycles into freeBufs
+//     (recycleBuf) only when the epoch that unshared it drains, at
+//     which point no snapshot can reach it.
 //   - An altBlock/altList is recycled only after it is unlinked from
 //     both of its chains: dropAltBlock/dropAltList remove the same-ID
 //     link, and the callers (discardShadow, promote) own the
@@ -33,11 +33,12 @@ package core
 //   - An aruState is recycled only after it is deleted from d.arus; its
 //     slices are cleared (pointer elements zeroed) but keep their
 //     capacity across reuse.
-//   - A sealedSeg is recycled in finishBatchLocked/completeSealedLocked
-//     after its builder returned to the spare pool and its quarantines
-//     lifted; the retained image (e.img) aliases the builder's buffer,
-//     which putBuilder resets, so a pooled entry never leaks sealed
-//     bytes.
+//   - A sealedSeg is retired in finishBatchLocked/completeSealedLocked
+//     after its quarantines lift, alongside its builder; both recycle
+//     when the retiring epoch drains. The retained image (e.img)
+//     aliases the builder's buffer, which recycleBuilder resets, so a
+//     pooled entry never leaks sealed bytes — and no pooled buffer is
+//     ever reachable from a live snapshot.
 
 // Free-list caps: beyond these the garbage collector takes over, so a
 // burst (many concurrent ARUs, a deep commit pipeline) does not pin
@@ -108,8 +109,19 @@ func (d *LLD) getBuf() []byte {
 	return make([]byte, d.params.Layout.BlockSize)
 }
 
-// putBuf recycles a dead block buffer. Caller holds d.mu.
+// putBuf retires a dead block buffer: a published snapshot may still
+// alias it, so it joins the current epoch's retire-set and recycles
+// only when that epoch drains. Caller holds d.mu.
 func (d *LLD) putBuf(b []byte) {
+	if len(b) != d.params.Layout.BlockSize {
+		return
+	}
+	d.ret.bufs = append(d.ret.bufs, b)
+}
+
+// recycleBuf returns a drained buffer to the free list (purge path
+// only). Caller holds d.mu.
+func (d *LLD) recycleBuf(b []byte) {
 	if len(b) != d.params.Layout.BlockSize || len(d.freeBufs) >= maxFreeBufs {
 		return
 	}
@@ -154,9 +166,17 @@ func (d *LLD) getSealed() *sealedSeg {
 	return new(sealedSeg)
 }
 
-// putSealed recycles a completed sealed-segment entry. Caller holds
-// d.mu.
+// putSealed retires a completed sealed-segment entry: published
+// epochs may still serve reads from its image, so it parks on the
+// current retire-set and recycles (recycleSealed) when that epoch
+// drains. Caller holds d.mu.
 func (d *LLD) putSealed(e *sealedSeg) {
+	d.ret.seals = append(d.ret.seals, e)
+}
+
+// recycleSealed pools a drained sealed-segment entry (purge path
+// only). Caller holds d.mu.
+func (d *LLD) recycleSealed(e *sealedSeg) {
 	if len(d.spareSeals) >= maxFreeSeals {
 		return
 	}

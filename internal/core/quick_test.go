@@ -174,7 +174,7 @@ func TestQuickOldNewEquivalence(t *testing.T) {
 				t.Fatalf("format: %v", err)
 			}
 			runScript(t, d, ops, true)
-			states = append(states, snapshot(t, d))
+			states = append(states, logicalState(t, d))
 			if err := d.VerifyInternal(); err != nil {
 				t.Fatalf("seed %d variant %v: %v", seed, variant, err)
 			}
@@ -206,7 +206,7 @@ func TestQuickRecoveryEquivalence(t *testing.T) {
 			t.Fatalf("format: %v", err)
 		}
 		runScript(t, d, ops, useARU)
-		before := snapshot(t, d)
+		before := logicalState(t, d)
 		if err := d.Close(); err != nil {
 			t.Fatalf("close: %v", err)
 		}
@@ -218,7 +218,7 @@ func TestQuickRecoveryEquivalence(t *testing.T) {
 		if err := d2.VerifyInternal(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		return reflect.DeepEqual(before, snapshot(t, d2))
+		return reflect.DeepEqual(before, logicalState(t, d2))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -258,13 +258,13 @@ func TestQuickCrashedRecoveryConsistency(t *testing.T) {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		s1 := snapshot(t, d2)
+		s1 := logicalState(t, d2)
 		d3, err := Open(dev.Reopen(img), Params{})
 		if err != nil {
 			t.Logf("seed %d: second recovery failed: %v", seed, err)
 			return false
 		}
-		return reflect.DeepEqual(s1, snapshot(t, d3))
+		return reflect.DeepEqual(s1, logicalState(t, d3))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -83,12 +83,17 @@ type altList struct {
 type blockEntry struct {
 	persist *seg.BlockRec // nil if the block has no persistent version
 	altHead *altBlock
+	// snapDirty marks the entry as touched since the last epoch
+	// publish; the publish rebuilds its snapshot-trie leaf and clears
+	// the flag (snapshot.go).
+	snapDirty bool
 }
 
 // listEntry roots all versions of one list.
 type listEntry struct {
-	persist *seg.ListRec
-	altHead *altList
+	persist   *seg.ListRec
+	altHead   *altList
+	snapDirty bool
 }
 
 // opKind discriminates list-operation log records.
@@ -288,6 +293,7 @@ func (d *LLD) writableBlock(id BlockID, aru ARUID, st *aruState) (*altBlock, boo
 	if !ok {
 		return nil, false
 	}
+	d.snapDirtyBlock(e, id) // caller is about to mutate the returned record
 	if aru != seg.SimpleARU {
 		if ab := e.findAlt(aru); ab != nil {
 			if ab.deleted {
@@ -321,6 +327,7 @@ func (d *LLD) writableList(id ListID, aru ARUID, st *aruState) (*altList, bool) 
 	if !ok {
 		return nil, false
 	}
+	d.snapDirtyList(e, id)
 	if aru != seg.SimpleARU {
 		if al := e.findAlt(aru); al != nil {
 			if al.deleted {
@@ -353,6 +360,7 @@ func (d *LLD) writableList(id ListID, aru ARUID, st *aruState) (*altList, bool) 
 // version's *contents*, not just its structure) — and links it into the
 // ARU's same-state chain and the block's same-ID chain.
 func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data []byte) *altBlock {
+	d.snapDirtyBlock(e, rec.ID)
 	ab := d.getAltBlock()
 	ab.id, ab.aru, ab.rec = rec.ID, st.id, rec
 	if data != nil {
@@ -374,6 +382,7 @@ func (d *LLD) newShadowBlock(e *blockEntry, st *aruState, rec seg.BlockRec, data
 
 // newShadowList creates a shadow copy of rec for the ARU st.
 func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altList {
+	d.snapDirtyList(e, rec.ID)
 	al := d.getAltList()
 	al.id, al.aru, al.rec = rec.ID, st.id, rec
 	al.nextState = st.shadowLists
@@ -389,6 +398,7 @@ func (d *LLD) newShadowList(e *listEntry, st *aruState, rec seg.ListRec) *altLis
 // newCommBlock creates a committed alternative record for block id with
 // contents rec and links it into the committed chains.
 func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBlock {
+	d.snapDirtyBlock(e, id)
 	ab := d.getAltBlock()
 	ab.id, ab.aru, ab.rec = id, seg.SimpleARU, rec
 	if rec.HasData {
@@ -405,6 +415,7 @@ func (d *LLD) newCommBlock(e *blockEntry, id BlockID, rec seg.BlockRec) *altBloc
 
 // newCommList creates a committed alternative record for list id.
 func (d *LLD) newCommList(e *listEntry, id ListID, rec seg.ListRec) *altList {
+	d.snapDirtyList(e, id)
 	al := d.getAltList()
 	al.id, al.aru, al.rec = id, seg.SimpleARU, rec
 	al.nextState = d.commLists
@@ -419,6 +430,11 @@ func (d *LLD) newCommList(e *listEntry, id ListID, rec seg.ListRec) *altList {
 // setBlockPhys points ab's record at a new physical location, dropping
 // any in-memory buffer and keeping the per-segment pin counts balanced.
 func (d *LLD) setBlockPhys(ab *altBlock, segIdx, slot uint32, tag ARUID) {
+	if e, ok := d.blocks[ab.id]; ok {
+		// Not all callers come through writableBlock (materialization,
+		// the cleaner, 2PC prepare), so mark here too.
+		d.snapDirtyBlock(e, ab.id)
+	}
 	d.dropBlockData(ab)
 	if ab.rec.HasData {
 		d.unpinSeg(ab.rec.Seg)
@@ -459,6 +475,9 @@ func (d *LLD) stashPrev(ab *altBlock) {
 // capacity (they materialize into it at seal time). With gating true
 // the previous ungated version is stashed first (see stashPrev).
 func (d *LLD) setBlockData(ab *altBlock, buf []byte, tag ARUID, gating bool) {
+	if e, ok := d.blocks[ab.id]; ok {
+		d.snapDirtyBlock(e, ab.id)
+	}
 	if gating {
 		d.stashPrev(ab)
 	}
@@ -508,6 +527,7 @@ func (d *LLD) dropPrevData(ab *altBlock) {
 // same-ID chain of e. The caller is responsible for the same-state
 // chain.
 func (d *LLD) dropAltBlock(e *blockEntry, ab *altBlock) {
+	d.snapDirtyBlock(e, ab.id)
 	d.dropBlockData(ab)
 	d.dropPrevData(ab)
 	if ab.rec.HasData {
@@ -522,6 +542,7 @@ func (d *LLD) dropAltBlock(e *blockEntry, ab *altBlock) {
 
 // dropAltList removes al from the same-ID chain of e.
 func (d *LLD) dropAltList(e *listEntry, al *altList) {
+	d.snapDirtyList(e, al.id)
 	e.removeAlt(al)
 	d.stats.AltRecords.Add(-1)
 	if al.aru != seg.SimpleARU {
@@ -529,5 +550,13 @@ func (d *LLD) dropAltList(e *listEntry, al *altList) {
 	}
 }
 
-func (d *LLD) pinSeg(s uint32)   { d.segPins[s]++ }
-func (d *LLD) unpinSeg(s uint32) { d.segPins[s]-- }
+func (d *LLD) pinSeg(s uint32) { d.segPins[s]++ }
+
+// unpinSeg drops one reference into segment s. Snapshots published up
+// to (and including) the current window may still resolve reads into
+// s's old bytes, so reuse must additionally wait until every epoch
+// before the NEXT publish has drained (segReusable).
+func (d *LLD) unpinSeg(s uint32) {
+	d.segPins[s]--
+	d.segFreeEpoch[s] = d.epoch + 1
+}

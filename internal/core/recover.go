@@ -133,8 +133,11 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 		reuseQuarantine: make(map[int]int),
 		dirtyBlocks:     make(map[BlockID]struct{}),
 		dirtyLists:      make(map[ListID]struct{}),
+		ret:             new(retireSet),
+		segFreeEpoch:    make([]uint64, layout.NumSegs),
 	}
 	d.gc.cond = sync.NewCond(&d.gc.mu)
+	d.devSh, _ = dev.(sharedReader)
 
 	chain, region, err := loadNewestChain(dev, layout)
 	if err != nil {
@@ -439,6 +442,25 @@ func OpenReport(dev disk.Disk, p Params) (*LLD, RecoveryReport, error) {
 			rpt.LeakedFreed = freed
 		}
 	}
+	if p.RecoveryProbe != nil {
+		// Test instrumentation: the head is still nil here, so a probe
+		// exercising the read path observes how mid-replay reads fail.
+		p.RecoveryProbe(d)
+	}
+	// Bootstrap the MVCC read path: freeze every recovered table entry
+	// into the first epoch and publish it, so lock-free readers have a
+	// head before the first client operation. (The consistency sweep
+	// above already marked what it changed; the dedup flags make the
+	// full sweep here cheap and exact.)
+	for id, e := range d.blocks {
+		d.snapDirtyBlock(e, id)
+	}
+	for id, e := range d.lists {
+		d.snapDirtyList(e, id)
+	}
+	d.arusDirty = true
+	d.publishLocked()
+
 	if d.obs != nil {
 		d.obs.ObserveSince(obs.HistRecovery, t0)
 		d.obs.Emit(obs.EvRecoveryDone, 0, uint64(rpt.EntriesReplayed), uint64(rpt.ARUsRecovered))

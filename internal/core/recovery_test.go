@@ -15,7 +15,7 @@ import (
 // contents, used to compare states across recovery.
 type diskState map[ListID][][]byte
 
-func snapshot(t *testing.T, d *LLD) diskState {
+func logicalState(t *testing.T, d *LLD) diskState {
 	t.Helper()
 	out := make(diskState)
 	lists, err := d.Lists(0)
@@ -93,7 +93,7 @@ func TestReopenEquality(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	before := snapshot(t, d)
+	before := logicalState(t, d)
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestReopenEquality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := snapshot(t, d2)
+	after := logicalState(t, d2)
 	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("state changed across close/open:\nbefore: %d lists\nafter:  %d lists", len(before), len(after))
 	}
@@ -117,7 +117,7 @@ func TestReopenEquality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again := snapshot(t, d3); !reflect.DeepEqual(after, again) {
+	if again := logicalState(t, d3); !reflect.DeepEqual(after, again) {
 		t.Fatalf("second recovery diverged")
 	}
 }

@@ -121,6 +121,7 @@ func (d *LLD) CommitDurable(aru ARUID) error {
 func (d *LLD) MoveBlock(aru ARUID, b BlockID, lst ListID, pred BlockID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}

@@ -44,6 +44,9 @@ type lldStats struct {
 	Flushes                    atomic.Int64
 	CommitBatches              atomic.Int64
 	BatchedCommits             atomic.Int64
+	EpochsPublished            atomic.Int64
+	SnapshotsPurged            atomic.Int64
+	PurgeRetries               atomic.Int64
 }
 
 // snapshot loads every counter into a plain Stats value. Each load is
@@ -88,5 +91,10 @@ func (s *lldStats) snapshot() Stats {
 		Flushes:                s.Flushes.Load(),
 		CommitBatches:          s.CommitBatches.Load(),
 		BatchedCommits:         s.BatchedCommits.Load(),
+		EpochsPublished:        s.EpochsPublished.Load(),
+		SnapshotsPurged:        s.SnapshotsPurged.Load(),
+		PurgeRetries:           s.PurgeRetries.Load(),
+		// SnapshotAge is a gauge computed by LLD.Stats from the epoch
+		// counters, not a mirrored cell.
 	}
 }

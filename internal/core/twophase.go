@@ -49,6 +49,7 @@ func (d *LLD) PrepareARU(aru ARUID, txn uint64) error {
 func (d *LLD) PrepareARUTraced(aru ARUID, txn uint64, sc obs.SpanContext) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}
@@ -149,6 +150,7 @@ func (d *LLD) PrepareARUTraced(aru ARUID, txn uint64, sc obs.SpanContext) error 
 	pts := d.tick()
 	d.pendingCommits = append(d.pendingCommits, seg.Entry{Kind: seg.KindPrepare, ARU: aru, TS: pts, Txn: txn})
 	st.prepared, st.prepTxn = true, txn
+	d.arusDirty = true // the view must start rejecting reads under aru
 	d.stats.ARUsPrepared.Add(1)
 	d.obs.Emit(obs.EvARUPrepare, uint64(aru), txn, 0)
 	if spanID != 0 {
@@ -174,6 +176,7 @@ func (d *LLD) CommitPrepared(aru ARUID) error {
 func (d *LLD) CommitPreparedTraced(aru ARUID, sc obs.SpanContext) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
 	if d.closed {
 		return ErrClosed
 	}

@@ -150,7 +150,7 @@ func TestPrepareCommitSurvivesCrash(t *testing.T) {
 	if err := d.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	want := snapshot(t, d)
+	want := logicalState(t, d)
 
 	d2, err := Open(dev.Recycle(), Params{})
 	if err != nil {
@@ -160,7 +160,7 @@ func TestPrepareCommitSurvivesCrash(t *testing.T) {
 	if err := d2.VerifyInternal(); err != nil {
 		t.Fatal(err)
 	}
-	if got := snapshot(t, d2); !reflect.DeepEqual(got, want) {
+	if got := logicalState(t, d2); !reflect.DeepEqual(got, want) {
 		t.Errorf("recovered state differs:\n got %v\nwant %v", got, want)
 	}
 	if n, err := d2.CheckDisk(); err != nil || n != 0 {
@@ -175,9 +175,9 @@ func TestPrepareCommitSurvivesCrash(t *testing.T) {
 func TestInDoubtResolution(t *testing.T) {
 	build := func(t *testing.T) (*disk.Sim, diskState, diskState) {
 		d, dev := prepTestDisk(t, Params{})
-		before := snapshot(t, d) // pre-ARU committed state... captured below
+		before := logicalState(t, d) // pre-ARU committed state... captured below
 		aru, _, _ := buildPreparedUnit(t, d)
-		before = snapshot(t, d) // the ARU's shadow is invisible to Simple
+		before = logicalState(t, d) // the ARU's shadow is invisible to Simple
 		if err := d.PrepareARU(aru, 42); err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestInDoubtResolution(t *testing.T) {
 		if err := d.CommitPrepared(aru); err != nil {
 			t.Fatal(err)
 		}
-		after := snapshot(t, d)
+		after := logicalState(t, d)
 		d.Close()
 		return img, before, after
 	}
@@ -218,7 +218,7 @@ func TestInDoubtResolution(t *testing.T) {
 		if err := d2.VerifyInternal(); err != nil {
 			t.Fatal(err)
 		}
-		if got := snapshot(t, d2); !reflect.DeepEqual(got, want) {
+		if got := logicalState(t, d2); !reflect.DeepEqual(got, want) {
 			t.Errorf("redone state differs:\n got %v\nwant %v", got, want)
 		}
 		if n, err := d2.CheckDisk(); err != nil || n != 0 {
@@ -243,7 +243,7 @@ func TestInDoubtResolution(t *testing.T) {
 		if err := d2.VerifyInternal(); err != nil {
 			t.Fatal(err)
 		}
-		if got := snapshot(t, d2); !reflect.DeepEqual(got, want) {
+		if got := logicalState(t, d2); !reflect.DeepEqual(got, want) {
 			t.Errorf("presumed abort not traceless:\n got %v\nwant %v", got, want)
 		}
 		if n, err := d2.CheckDisk(); err != nil || n != 0 {
@@ -261,7 +261,7 @@ func TestInDoubtResolution(t *testing.T) {
 		if rpt.InDoubtAborted != 1 {
 			t.Errorf("report %+v: want 1 aborted", rpt)
 		}
-		if got := snapshot(t, d2); !reflect.DeepEqual(got, want) {
+		if got := logicalState(t, d2); !reflect.DeepEqual(got, want) {
 			t.Errorf("nil resolver not traceless:\n got %v\nwant %v", got, want)
 		}
 	})
@@ -273,7 +273,7 @@ func TestInDoubtResolution(t *testing.T) {
 func TestAbortCancelsPrepare(t *testing.T) {
 	d, dev := prepTestDisk(t, Params{})
 	aru, _, _ := buildPreparedUnit(t, d)
-	want := snapshot(t, d)
+	want := logicalState(t, d)
 	if err := d.PrepareARU(aru, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestAbortCancelsPrepare(t *testing.T) {
 	if err := d.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if got := snapshot(t, d); !reflect.DeepEqual(got, want) {
+	if got := logicalState(t, d); !reflect.DeepEqual(got, want) {
 		t.Errorf("live abort of prepared unit not traceless:\n got %v\nwant %v", got, want)
 	}
 	d2, rpt, err := OpenReport(dev.Recycle(), Params{CommitResolver: func(uint64) bool {
@@ -300,7 +300,7 @@ func TestAbortCancelsPrepare(t *testing.T) {
 	if rpt.InDoubt != 0 {
 		t.Errorf("InDoubt = %d, want 0", rpt.InDoubt)
 	}
-	if got := snapshot(t, d2); !reflect.DeepEqual(got, want) {
+	if got := logicalState(t, d2); !reflect.DeepEqual(got, want) {
 		t.Errorf("recovered abort not traceless:\n got %v\nwant %v", got, want)
 	}
 }

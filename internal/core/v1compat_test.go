@@ -202,7 +202,7 @@ func TestV1ImageCompat(t *testing.T) {
 	if err := d.VerifyInternal(); err != nil {
 		t.Fatal(err)
 	}
-	got := snapshot(t, d)
+	got := logicalState(t, d)
 
 	// The recovered state must equal the same history on a fresh disk.
 	want := func() diskState {
@@ -212,7 +212,7 @@ func TestV1ImageCompat(t *testing.T) {
 			t.Fatal(err)
 		}
 		v1FixtureHistory(t, d2)
-		return snapshot(t, d2)
+		return logicalState(t, d2)
 	}()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("legacy image recovered to a different state: got %d lists, want %d", len(got), len(want))
@@ -249,7 +249,7 @@ func TestV1ImageCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got2 := snapshot(t, d2); !reflect.DeepEqual(got2, got) {
+	if got2 := logicalState(t, d2); !reflect.DeepEqual(got2, got) {
 		t.Fatal("state changed across the v1-to-v2 upgrade")
 	}
 }

@@ -2,6 +2,7 @@ package crashenum
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"aru/internal/core"
@@ -314,6 +315,28 @@ func runMixed(seed int64, wp workload.MixedParams, inject string) (*runResult, e
 			return nil, fmt.Errorf("crashenum: script op %d (kind %d unit %d): %w", i, op.Kind, op.Unit, err)
 		}
 	}
+
+	// Reader-during-recovery phase, pre-crash half: a snapshot pinned
+	// before the crash must not be consultable afterwards. The crash
+	// simulators invalidate the engine before tearing device state;
+	// replaying that here proves a stale handle fails with
+	// ErrSnapshotStale instead of answering from a world the reopened
+	// disk may have diverged from.
+	h, err := d.AcquireSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("crashenum: pre-crash snapshot: %w", err)
+	}
+	d.Invalidate()
+	buf := make([]byte, bsize)
+	if err := h.Read(seg.SimpleARU, res.pool[0].id, buf); !errors.Is(err, core.ErrSnapshotStale) {
+		h.Release()
+		return nil, fmt.Errorf("crashenum: pre-crash snapshot still consultable after invalidation (err=%v)", err)
+	}
+	if _, err := h.ListBlocks(seg.SimpleARU, res.poolList); !errors.Is(err, core.ErrSnapshotStale) {
+		h.Release()
+		return nil, fmt.Errorf("crashenum: pre-crash snapshot list walk survived invalidation (err=%v)", err)
+	}
+	h.Release()
 	return res, nil
 }
 

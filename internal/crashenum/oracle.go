@@ -2,6 +2,7 @@ package crashenum
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"aru/internal/core"
@@ -89,12 +90,34 @@ func (res *runResult) checkImage(cs CrashState, img []byte) (viols []string) {
 		}
 	}()
 	dev := disk.FromImage(img, disk.Geometry{})
-	d, _, err := core.OpenReport(dev, res.params)
+	// Reader-during-recovery phase, replay half: while the image is
+	// being replayed the snapshot head does not exist yet, so a read
+	// attempt must fail cleanly with ErrClosed — never answer from a
+	// half-rebuilt table.
+	params := res.params
+	params.RecoveryProbe = func(rd *core.LLD) {
+		if h, err := rd.AcquireSnapshot(); err == nil {
+			h.Release()
+			viols = append(viols, "read path published before recovery completed")
+		} else if !errors.Is(err, core.ErrClosed) {
+			viols = append(viols, fmt.Sprintf("mid-replay read failed uncleanly: %v", err))
+		}
+	}
+	d, _, err := core.OpenReport(dev, params)
 	if err != nil {
-		return []string{fmt.Sprintf("recovery failed: %v", err)}
+		return append(viols, fmt.Sprintf("recovery failed: %v", err))
 	}
 	if err := d.VerifyInternal(); err != nil {
 		viols = append(viols, fmt.Sprintf("internal verification: %v", err))
+	}
+	// Post-replay half: the first published epoch must serve exactly
+	// the recovered committed state, so every lock-free read below is
+	// cross-checked against its locked twin.
+	snap, err := d.AcquireSnapshot()
+	if err != nil {
+		viols = append(viols, fmt.Sprintf("post-recovery snapshot: %v", err))
+	} else {
+		defer snap.Release()
 	}
 	E := cs.Epoch
 	bsize := res.params.Layout.BlockSize
@@ -122,6 +145,7 @@ func (res *runResult) checkImage(cs CrashState, img []byte) (viols []string) {
 	}
 
 	buf := make([]byte, bsize)
+	sbuf := make([]byte, bsize)
 	for i, pb := range res.pool {
 		floor := 0
 		for _, g := range pb.gens {
@@ -132,6 +156,13 @@ func (res *runResult) checkImage(cs CrashState, img []byte) (viols []string) {
 		if err := d.Read(seg.SimpleARU, pb.id, buf); err != nil {
 			viols = append(viols, fmt.Sprintf("pool block %d unreadable: %v", pb.id, err))
 			continue
+		}
+		if snap != nil {
+			if err := snap.Read(seg.SimpleARU, pb.id, sbuf); err != nil {
+				viols = append(viols, fmt.Sprintf("pool block %d: snapshot read failed where locked read succeeded: %v", pb.id, err))
+			} else if !bytes.Equal(sbuf, buf) {
+				viols = append(viols, fmt.Sprintf("pool block %d: post-recovery snapshot diverges from locked read", pb.id))
+			}
 		}
 		got := 0
 		for g := len(pb.gens); g >= 1; g-- {
@@ -148,6 +179,26 @@ func (res *runResult) checkImage(cs CrashState, img []byte) (viols []string) {
 			viols = append(viols, fmt.Sprintf(
 				"pool block %d: recovered generation %d older than durable floor %d at crash epoch %d",
 				pb.id, got, floor, E))
+		}
+	}
+
+	// List walks must agree between the two read paths as well: same
+	// membership when both succeed, and never a snapshot answer for a
+	// list the locked path says does not exist.
+	if snap != nil {
+		for _, u := range res.units {
+			for _, id := range u.allLists {
+				locked, lerr := d.ListBlocks(seg.SimpleARU, id)
+				snapped, serr := snap.ListBlocks(seg.SimpleARU, id)
+				switch {
+				case (lerr == nil) != (serr == nil):
+					viols = append(viols, fmt.Sprintf(
+						"unit %d list %d: locked/snapshot walks disagree on existence (%v vs %v)", u.idx, id, lerr, serr))
+				case lerr == nil && !blocksEqual(locked, snapped):
+					viols = append(viols, fmt.Sprintf(
+						"unit %d list %d: snapshot membership %v, locked %v", u.idx, id, snapped, locked))
+				}
+			}
 		}
 	}
 

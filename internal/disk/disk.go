@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -176,13 +177,26 @@ type FaultPlan struct {
 type Sim struct {
 	geom Geometry
 
-	mu      sync.Mutex
-	store   []byte
-	head    int64 // last byte position of the head, for the seek model
+	mu    sync.Mutex
+	store []byte
+	// head is the last byte position of the actuator, for the seek
+	// model. Locked paths update it under mu; ReadAtShared swaps it
+	// atomically, so the shared stream contends for the same actuator
+	// and interleaved read/write streams keep paying seeks.
+	head    atomic.Int64
 	stats   Stats
-	crashed bool
+	crashed atomic.Bool
 	plan    FaultPlan
 	writes  int64 // total write requests issued (for fault triggers)
+	// sharedReads/sharedBytes count ReadAtShared traffic; they are
+	// separate atomics (not s.stats fields) so shared reads never touch
+	// the mutex. Stats() folds them in. sharedElapsed accumulates the
+	// shared stream's modeled service time, so shared reads pay the
+	// same seek/rotation/transfer costs as locked ones and benchmark
+	// shapes survive the lock-free read path.
+	sharedReads   int64
+	sharedBytes   int64
+	sharedElapsed int64 // nanoseconds
 	// unsynced records the pre-image of every write since the last
 	// completed Sync, newest last, so a crash can roll writes back to a
 	// torn prefix. Maintained only while plan.TornHistory > 0.
@@ -246,7 +260,11 @@ func (s *Sim) Size() int64 {
 func (s *Sim) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Reads += atomic.LoadInt64(&s.sharedReads)
+	st.BytesRead += atomic.LoadInt64(&s.sharedBytes)
+	st.Elapsed += time.Duration(atomic.LoadInt64(&s.sharedElapsed))
+	return st
 }
 
 // ResetStats zeroes the operation counters (the virtual clock restarts
@@ -255,23 +273,29 @@ func (s *Sim) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = Stats{}
+	atomic.StoreInt64(&s.sharedReads, 0)
+	atomic.StoreInt64(&s.sharedElapsed, 0)
+	atomic.StoreInt64(&s.sharedBytes, 0)
 }
 
 // Crashed reports whether a simulated crash has been triggered.
 func (s *Sim) Crashed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.crashed
+	return s.crashed.Load()
 }
 
 // Crash triggers an immediate simulated crash: all subsequent I/O fails
 // with ErrCrashed until Image/Reopen is used to recover the contents.
 // With FaultPlan.TornHistory set, un-synced writes may be rolled back
 // to torn prefixes, as for a crash triggered by CrashAfterWrites.
+//
+// Crash rewrites medium contents in place (the torn-history rewind), so
+// callers that issue lock-free ReadAtShared requests must quiesce them
+// before crashing, exactly as they would have to stop DMA before
+// pulling the power on real hardware.
 func (s *Sim) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.crashed = true
+	s.crashed.Store(true)
 	s.tearHistoryLocked()
 }
 
@@ -348,7 +372,7 @@ func (s *Sim) checkRange(p []byte, off int64) error {
 func (s *Sim) ReadAt(p []byte, off int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
+	if s.crashed.Load() {
 		return ErrCrashed
 	}
 	if err := s.checkRange(p, off); err != nil {
@@ -357,8 +381,32 @@ func (s *Sim) ReadAt(p []byte, off int64) error {
 	copy(p, s.store[off:off+int64(len(p))])
 	s.stats.Reads++
 	s.stats.BytesRead += int64(len(p))
-	s.stats.Elapsed += s.geom.serviceTime(s.head, off, int64(len(p)), int64(len(s.store)))
-	s.head = off + int64(len(p))
+	s.stats.Elapsed += s.geom.serviceTime(s.head.Swap(off+int64(len(p))), off, int64(len(p)), int64(len(s.store)))
+	return nil
+}
+
+// ReadAtShared reads len(p) bytes at byte offset off without taking the
+// simulator lock, modeling the concurrent request streams a real
+// controller serves (pread on a raw device does not serialize against
+// other readers). It does not advance the head or the virtual clock,
+// and it is only safe for regions the caller knows are quiescent: the
+// MVCC read path guarantees this by epoch-gating segment reuse, so no
+// writer ever targets a region a live snapshot still references.
+func (s *Sim) ReadAtShared(p []byte, off int64) error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	// len(s.store) is immutable after NewSim, so checkRange is safe
+	// without the lock.
+	if err := s.checkRange(p, off); err != nil {
+		return err
+	}
+	copy(p, s.store[off:off+int64(len(p))])
+	atomic.AddInt64(&s.sharedReads, 1)
+	atomic.AddInt64(&s.sharedBytes, int64(len(p)))
+	prev := s.head.Swap(off + int64(len(p)))
+	cost := s.geom.serviceTime(prev, off, int64(len(p)), int64(len(s.store)))
+	atomic.AddInt64(&s.sharedElapsed, int64(cost))
 	return nil
 }
 
@@ -366,7 +414,7 @@ func (s *Sim) ReadAt(p []byte, off int64) error {
 func (s *Sim) WriteAt(p []byte, off int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
+	if s.crashed.Load() {
 		return ErrCrashed
 	}
 	if err := s.checkRange(p, off); err != nil {
@@ -379,7 +427,7 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 	if s.plan.CrashAfterWrites > 0 && s.writes > s.plan.CrashAfterWrites {
 		// Fatal write: tear the in-flight history, apply a (possibly
 		// torn) prefix of the fatal write itself, then crash.
-		s.crashed = true
+		s.crashed.Store(true)
 		s.tearHistoryLocked()
 		if s.plan.TornSectors >= 0 {
 			n := int64(len(p))
@@ -403,8 +451,7 @@ func (s *Sim) WriteAt(p []byte, off int64) error {
 	copy(s.store[off:off+int64(len(p))], p)
 	s.stats.Writes++
 	s.stats.BytesWritten += int64(len(p))
-	s.stats.Elapsed += s.geom.serviceTime(s.head, off, int64(len(p)), int64(len(s.store)))
-	s.head = off + int64(len(p))
+	s.stats.Elapsed += s.geom.serviceTime(s.head.Swap(off+int64(len(p))), off, int64(len(p)), int64(len(s.store)))
 	return nil
 }
 
@@ -427,7 +474,7 @@ func (s *Sim) SetSyncDelay(d time.Duration) {
 // barrier (they were not in unsynced when it settled).
 func (s *Sim) Sync() error {
 	s.mu.Lock()
-	if s.crashed {
+	if s.crashed.Load() {
 		s.mu.Unlock()
 		return ErrCrashed
 	}

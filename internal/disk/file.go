@@ -80,6 +80,19 @@ func (d *File) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
+// ReadAtShared reads without taking the device mutex. os.File.ReadAt
+// is a positioned pread and is safe for concurrent use, so the only
+// state consulted is the immutable size.
+func (d *File) ReadAtShared(p []byte, off int64) error {
+	if err := d.check(p, off); err != nil {
+		return err
+	}
+	if _, err := d.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("disk: read at %d: %w", off, err)
+	}
+	return nil
+}
+
 // WriteAt implements Disk.
 func (d *File) WriteAt(p []byte, off int64) error {
 	d.mu.Lock()

@@ -136,6 +136,27 @@ func (r *Report) AddConcurrent(res ConcurrentResult) {
 	}
 }
 
+// AddReadScale appends the MVCC read-scaling sweep, one result per
+// reader count.
+func (r *Report) AddReadScale(res ReadScaleResult) {
+	for _, p := range res.Points {
+		r.Results = append(r.Results, BenchResult{
+			Experiment: "readscale",
+			Build:      "mvcc",
+			Label:      fmt.Sprintf("%d readers", p.Readers),
+			Phases: []BenchPhase{{
+				Name:      "read",
+				Ops:       p.Ops,
+				Bytes:     p.Bytes,
+				ElapsedNs: p.Elapsed.Nanoseconds(),
+				NsPerOp:   p.NsPerOp(),
+				OpsPerSec: p.PerSec(),
+				MBPerSec:  float64(p.Bytes) / (1 << 20) / p.Elapsed.Seconds(),
+			}},
+		})
+	}
+}
+
 // AddShardScale appends the shard-scaling sweep (one result per shard
 // count) and the fast-path comparison to the report.
 func (r *Report) AddShardScale(res []ShardScaleResult, fp ShardFastPathResult) {

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadScaleSweep runs a shrunk sweep end to end: points populated,
+// commits landed concurrently, and the contention gate passes with a
+// non-vacuous profile.
+func TestReadScaleSweep(t *testing.T) {
+	res, err := RunReadScale([]int{1, 2}, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Ops != int64(p.Readers)*1000 {
+			t.Errorf("%d readers: ops = %d, want %d", p.Readers, p.Ops, p.Readers*1000)
+		}
+		if p.Elapsed <= 0 || p.PerSec() <= 0 {
+			t.Errorf("%d readers: no measured time", p.Readers)
+		}
+	}
+	if err := ReadScaleGate(res); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if res.ProfileEvents == 0 {
+		t.Fatal("contention profile captured no events; the gate would be vacuous")
+	}
+	if out := FormatReadScale(res); !strings.Contains(out, "read-path contention: none") {
+		t.Fatalf("format missing verdict:\n%s", out)
+	}
+}
+
+// TestMatchReadPath pins the frame classifier: read-path entry points
+// and snapshot machinery match, the write/commit path does not.
+func TestMatchReadPath(t *testing.T) {
+	hits := []string{
+		"aru/internal/core.(*LLD).Read",
+		"aru/internal/core.(*LLD).ListBlocks",
+		"aru/internal/core.(*LLD).Stats",
+		"aru/internal/core.(*LLD).acquireSnap",
+		"aru/internal/core.(*LLD).AcquireSnapshot",
+		"aru/internal/core.(*Snapshot).Read",
+		"aru/internal/core.(*Snapshot).ListBlocks",
+	}
+	for _, fn := range hits {
+		if !matchReadPath(fn) {
+			t.Errorf("%s not classified as read path", fn)
+		}
+	}
+	misses := []string{
+		"aru/internal/core.(*LLD).EndARU",
+		"aru/internal/core.(*LLD).Write",
+		"aru/internal/core.(*LLD).Flush",
+		"aru/internal/core.(*LLD).publishLocked",
+		"aru/internal/disk.(*Mem).ReadAt",
+		"aru/internal/harness.RunReadScale",
+	}
+	for _, fn := range misses {
+		if matchReadPath(fn) {
+			t.Errorf("%s wrongly classified as read path", fn)
+		}
+	}
+	// The gate reports errors on contended frames and on an empty
+	// profile.
+	if err := ReadScaleGate(ReadScaleResult{ContendedFrames: []string{"core.(*LLD).Read"}, ProfileEvents: 5}); err == nil {
+		t.Error("gate passed with a contended read-path frame")
+	}
+	if err := ReadScaleGate(ReadScaleResult{}); err == nil {
+		t.Error("gate passed with an empty contention profile")
+	}
+}

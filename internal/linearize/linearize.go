@@ -1,0 +1,305 @@
+// Package linearize decides whether a history of concurrent,
+// completed operations is linearizable against a sequential
+// specification, and shrinks failing histories to minimal
+// counterexamples.
+//
+// The checker is the Wing & Gong (1993) exhaustive search with Lowe's
+// memoization: at every step only *minimal* operations — those whose
+// call precedes the earliest pending return — are candidates for the
+// next linearization point, and configurations (set of linearized
+// operations, specification state) already proven dead are never
+// revisited. The search is exponential in the worst case but the
+// pruning makes the histories a test harness produces (tens of
+// operations, a handful of concurrent clients) check in microseconds.
+//
+// A history is a slice of Op: each operation carries its client, its
+// call and return timestamps on one shared logical clock, and its
+// input/output values. The checker requires every operation to be
+// complete (Call < Return) and timestamps to be distinct across
+// entries; histories taken from a live system get this for free by
+// drawing both stamps from one atomic counter.
+package linearize
+
+import "sort"
+
+// Op is one completed operation of a concurrent history.
+type Op struct {
+	// Client identifies the issuing client; it is not used by the
+	// checker (one client's ops are already ordered by their stamps)
+	// but kept for counterexample readability.
+	Client int
+	// Call and Return are the operation's invocation and response
+	// times on a single logical clock, Call < Return. Two operations
+	// overlap — and may linearize in either order — exactly when
+	// neither returns before the other is called.
+	Call, Return int64
+	// Input is the operation's argument (nil for a pure observer, by
+	// the convention of the specs in this package).
+	Input any
+	// Output is the value the operation returned.
+	Output any
+}
+
+// Spec is a sequential specification: a state machine that accepts or
+// rejects one operation at a time.
+type Spec interface {
+	// Init returns the initial state.
+	Init() any
+	// Apply attempts in/out as the next sequential operation from
+	// state, returning the successor state and whether the transition
+	// is legal. It must not mutate state.
+	Apply(state, in, out any) (any, bool)
+	// Equal reports whether two states are indistinguishable.
+	Equal(a, b any) bool
+	// Hash returns a hash consistent with Equal, for memoization.
+	Hash(state any) uint64
+}
+
+// Result is the outcome of a check.
+type Result struct {
+	// Ok reports whether the history is linearizable.
+	Ok bool
+	// Order is a witness linearization (indices into the checked
+	// history, in linearization order) when Ok.
+	Order []int
+	// Depth is the largest number of operations any explored branch
+	// managed to linearize; on failure it points at how far the search
+	// got before every extension died.
+	Depth int
+}
+
+// entry is one end of an operation on the doubly linked search list.
+type entry struct {
+	op         int
+	time       int64
+	match      *entry // call entry -> its return entry; nil on returns
+	prev, next *entry
+}
+
+func (e *entry) lift() {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+func (e *entry) unlift() {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+// bitset is a fixed-capacity set of operation indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+func (b bitset) hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range b {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// memoEntry is one dead configuration: this set of linearized ops in
+// this state has been fully explored.
+type memoEntry struct {
+	done  bitset
+	state any
+}
+
+// Check reports whether ops is a linearizable history of spec. The
+// history must contain only completed operations with distinct
+// timestamps; Check panics on an operation with Call >= Return.
+func Check(spec Spec, ops []Op) Result {
+	n := len(ops)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	// Build the time-ordered entry list under a head sentinel.
+	entries := make([]*entry, 0, 2*n)
+	for i, op := range ops {
+		if op.Call >= op.Return {
+			panic("linearize: incomplete operation in history")
+		}
+		call := &entry{op: i, time: op.Call}
+		ret := &entry{op: i, time: op.Return}
+		call.match = ret
+		entries = append(entries, call, ret)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].time < entries[j].time })
+	head := &entry{op: -1, time: -1 << 62}
+	prev := head
+	for _, e := range entries {
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+
+	type frame struct {
+		e         *entry
+		prevState any
+	}
+	var (
+		stack []frame
+		state = spec.Init()
+		done  = newBitset(n)
+		memo  = make(map[uint64][]memoEntry)
+		depth = 0
+		seen  = func(b bitset, s any) bool {
+			h := b.hash() ^ spec.Hash(s)
+			for _, m := range memo[h] {
+				if m.done.equal(b) && spec.Equal(m.state, s) {
+					return true
+				}
+			}
+			memo[h] = append(memo[h], memoEntry{done: b.clone(), state: s})
+			return false
+		}
+		cursor = head.next
+	)
+	for head.next != nil {
+		if cursor == nil || cursor.match == nil {
+			// Reached a pending return (or the end of the list): no
+			// minimal operation extends this branch. Backtrack.
+			if len(stack) == 0 {
+				return Result{Ok: false, Depth: depth}
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.prevState
+			done.clear(f.e.op)
+			f.e.unlift()
+			cursor = f.e.next
+			continue
+		}
+		op := ops[cursor.op]
+		if next, ok := spec.Apply(state, op.Input, op.Output); ok {
+			done.set(cursor.op)
+			if !seen(done, next) {
+				stack = append(stack, frame{e: cursor, prevState: state})
+				state = next
+				cursor.lift()
+				if len(stack) > depth {
+					depth = len(stack)
+				}
+				cursor = head.next
+				continue
+			}
+			done.clear(cursor.op)
+		}
+		cursor = cursor.next
+	}
+	order := make([]int, len(stack))
+	for i, f := range stack {
+		order[i] = f.e.op
+	}
+	return Result{Ok: true, Order: order, Depth: depth}
+}
+
+// Shrink reduces a non-linearizable history to a locally minimal
+// failing sub-history: first whole clients, then single operations are
+// removed greedily as long as the remainder still fails the check. It
+// returns nil if ops is already linearizable. The returned slice is a
+// fresh copy; timestamps are preserved, so the counterexample replays
+// under Check directly.
+func Shrink(spec Spec, ops []Op) []Op {
+	if Check(spec, ops).Ok {
+		return nil
+	}
+	cur := append([]Op(nil), ops...)
+
+	without := func(h []Op, drop func(Op) bool) []Op {
+		out := make([]Op, 0, len(h))
+		for _, op := range h {
+			if !drop(op) {
+				out = append(out, op)
+			}
+		}
+		return out
+	}
+
+	// Pass 1: drop entire clients.
+	clients := map[int]bool{}
+	for _, op := range cur {
+		clients[op.Client] = true
+	}
+	ids := make([]int, 0, len(clients))
+	for c := range clients {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		cand := without(cur, func(op Op) bool { return op.Client == c })
+		if len(cand) < len(cur) && !Check(spec, cand).Ok {
+			cur = cand
+		}
+	}
+
+	// Pass 2: drop single operations to a fixpoint.
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]Op(nil), cur[:i]...), cur[i+1:]...)
+			if !Check(spec, cand).Ok {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// RegisterSpec is the sequential specification of a single atomic
+// register holding an int64: an operation with a non-nil Input is a
+// write of Input.(int64); one with a nil Input is a read that returned
+// Output.(int64). Reads are legal exactly when they return the latest
+// written value (or Initial before any write).
+type RegisterSpec struct{ Initial int64 }
+
+// Init returns the initial register value.
+func (r RegisterSpec) Init() any { return r.Initial }
+
+// Apply implements Spec.
+func (r RegisterSpec) Apply(state, in, out any) (any, bool) {
+	if in != nil {
+		return in.(int64), true
+	}
+	return state, out.(int64) == state.(int64)
+}
+
+// Equal implements Spec.
+func (RegisterSpec) Equal(a, b any) bool { return a.(int64) == b.(int64) }
+
+// Hash implements Spec.
+func (RegisterSpec) Hash(state any) uint64 {
+	return uint64(state.(int64)) * 0x9e3779b97f4a7c15
+}

@@ -1,0 +1,171 @@
+package linearize
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func w(client int, call, ret, v int64) Op {
+	return Op{Client: client, Call: call, Return: ret, Input: v}
+}
+
+func r(client int, call, ret, v int64) Op {
+	return Op{Client: client, Call: call, Return: ret, Output: v}
+}
+
+// TestSequentialHistory checks the degenerate case: non-overlapping
+// operations are linearizable iff they are legal in real-time order.
+func TestSequentialHistory(t *testing.T) {
+	spec := RegisterSpec{}
+	good := []Op{w(0, 1, 2, 7), r(1, 3, 4, 7), w(0, 5, 6, 9), r(1, 7, 8, 9)}
+	if res := Check(spec, good); !res.Ok {
+		t.Fatalf("sequential legal history rejected (depth %d)", res.Depth)
+	}
+	bad := []Op{w(0, 1, 2, 7), r(1, 3, 4, 9)}
+	if Check(spec, bad).Ok {
+		t.Fatal("read of a never-current value accepted")
+	}
+}
+
+// TestOverlapOrdersBothWays checks that a read overlapping a write may
+// observe either the old or the new value, but a read strictly after
+// the write's return may not observe the old one.
+func TestOverlapOrdersBothWays(t *testing.T) {
+	spec := RegisterSpec{}
+	// Write 5 over [2,6]; concurrent reads of both 0 and 5.
+	h := []Op{w(0, 2, 6, 5), r(1, 3, 4, 0), r(2, 1, 5, 5)}
+	if !Check(spec, h).Ok {
+		t.Fatal("legal overlapping history rejected")
+	}
+	// Read called after the write returned must see 5.
+	stale := []Op{w(0, 1, 2, 5), r(1, 3, 4, 0)}
+	if Check(spec, stale).Ok {
+		t.Fatal("stale read after write completion accepted")
+	}
+}
+
+// TestWitnessOrderReplays re-applies the returned witness
+// linearization sequentially and checks it is legal and complete.
+func TestWitnessOrderReplays(t *testing.T) {
+	spec := RegisterSpec{}
+	h := []Op{
+		w(0, 1, 10, 1), w(1, 2, 9, 2), r(2, 3, 8, 1),
+		r(3, 4, 7, 2), r(2, 11, 12, 2),
+	}
+	res := Check(spec, h)
+	if !res.Ok {
+		t.Fatal("history should be linearizable")
+	}
+	if len(res.Order) != len(h) {
+		t.Fatalf("witness covers %d of %d ops", len(res.Order), len(h))
+	}
+	state := spec.Init()
+	seen := map[int]bool{}
+	for _, i := range res.Order {
+		if seen[i] {
+			t.Fatalf("op %d appears twice in witness", i)
+		}
+		seen[i] = true
+		next, ok := spec.Apply(state, h[i].Input, h[i].Output)
+		if !ok {
+			t.Fatalf("witness step %d illegal", i)
+		}
+		state = next
+	}
+}
+
+// TestConcurrentReadsCannotCross checks the classic non-linearizable
+// shape: two sequential reads observing two writes in opposite orders.
+func TestConcurrentReadsCannotCross(t *testing.T) {
+	spec := RegisterSpec{}
+	h := []Op{
+		w(0, 1, 20, 1), w(1, 2, 19, 2),
+		// Client 2 reads 1 then 2: fine. Client 3 reads 2 then 1
+		// strictly after: the register would have to go 2 -> 1 -> 2.
+		r(2, 3, 4, 1), r(2, 5, 6, 2),
+		r(3, 7, 8, 2), r(3, 9, 10, 1), r(2, 11, 12, 2),
+	}
+	if Check(spec, h).Ok {
+		t.Fatal("value oscillation across sequential readers accepted")
+	}
+}
+
+// TestPruningHandlesWideHistories exercises the memoized search on a
+// history wide enough that the unpruned search space (14 concurrent
+// ops) would be intractable to enumerate naively per-branch.
+func TestPruningHandlesWideHistories(t *testing.T) {
+	spec := RegisterSpec{}
+	var h []Op
+	// 7 writers of the same value and 7 readers of it, all overlapping.
+	for i := 0; i < 7; i++ {
+		h = append(h, Op{Client: i, Call: int64(i), Return: int64(100 + i), Input: int64(42)})
+		h = append(h, Op{Client: 7 + i, Call: int64(10 + i), Return: int64(110 + i), Output: int64(42)})
+	}
+	if !Check(spec, h).Ok {
+		t.Fatal("wide legal history rejected")
+	}
+}
+
+// TestRandomLegalHistories cross-validates the checker against
+// histories generated from a known linearization: random overlap
+// widths around a legal sequential execution must always pass.
+func TestRandomLegalHistories(t *testing.T) {
+	spec := RegisterSpec{}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var (
+			h     []Op
+			clock int64
+			cur   int64
+		)
+		for i := 0; i < 12; i++ {
+			// Linearization point at `clock`; call/return jitter around it.
+			call := clock - rng.Int63n(3)
+			ret := clock + 1 + rng.Int63n(3)
+			// Keep stamps distinct by spacing the clock.
+			call, ret = call*16+int64(i), ret*16+int64(i)+8
+			if rng.Intn(2) == 0 {
+				cur = rng.Int63n(5)
+				h = append(h, Op{Client: i % 4, Call: call, Return: ret, Input: cur})
+			} else {
+				h = append(h, Op{Client: i % 4, Call: call, Return: ret, Output: cur})
+			}
+			clock += 4
+		}
+		if res := Check(spec, h); !res.Ok {
+			t.Fatalf("seed %d: legal history rejected (depth %d)", seed, res.Depth)
+		}
+	}
+}
+
+// TestShrinkMinimizes checks that shrinking a bloated failing history
+// yields a minimal core: one write and one stale read.
+func TestShrinkMinimizes(t *testing.T) {
+	spec := RegisterSpec{}
+	var h []Op
+	// Noise: three clients doing legal traffic.
+	for i := int64(0); i < 6; i++ {
+		h = append(h, w(0, 100+4*i, 102+4*i, i+1))
+		h = append(h, r(1, 103+4*i, 104+4*i, i+1))
+	}
+	// The bug: client 2 reads a value the register never held again
+	// after a completed overwrite.
+	h = append(h, w(3, 200, 201, 77))
+	h = append(h, r(2, 202, 203, 6)) // 6 was overwritten by 77
+	if Check(spec, h).Ok {
+		t.Fatal("constructed history should fail")
+	}
+	min := Shrink(spec, h)
+	if min == nil {
+		t.Fatal("Shrink returned nil for a failing history")
+	}
+	if Check(spec, min).Ok {
+		t.Fatal("shrunk history no longer fails")
+	}
+	if len(min) > 2 {
+		t.Fatalf("shrunk history has %d ops, want <= 2: %+v", len(min), min)
+	}
+	if Shrink(spec, []Op{w(0, 1, 2, 1), r(0, 3, 4, 1)}) != nil {
+		t.Fatal("Shrink of a passing history must return nil")
+	}
+}

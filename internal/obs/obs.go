@@ -87,6 +87,12 @@ const (
 	// EvRecoveryScan: recovery's parallel summary scan finished.
 	// Arg1 = worker count, Arg2 = segments in the replay window.
 	EvRecoveryScan
+	// EvEpochPublish: the engine published a new MVCC read epoch.
+	// Arg1 = epoch number, Arg2 = block-map size at publish.
+	EvEpochPublish
+	// EvSnapPurge: one retired epoch's refcount drained and its
+	// retire-set was recycled. Arg1 = the purged epoch number.
+	EvSnapPurge
 )
 
 // String implements fmt.Stringer.
@@ -130,6 +136,10 @@ func (k EventKind) String() string {
 		return "ckpt-compact"
 	case EvRecoveryScan:
 		return "recovery-scan"
+	case EvEpochPublish:
+		return "epoch-publish"
+	case EvSnapPurge:
+		return "snap-purge"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

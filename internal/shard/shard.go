@@ -148,6 +148,11 @@ type Disk struct {
 	fastCommits  atomic.Int64
 	crossCommits atomic.Int64
 	crossAborts  atomic.Int64
+	// crossApplying counts 2PC units between their coordinator commit
+	// point and the end of the apply fan-out: while it is non-zero a
+	// multi-shard snapshot cut could straddle the applies, so
+	// AcquireSnapshot treats the window as unstable and retries.
+	crossApplying atomic.Int64
 }
 
 // shardParams returns the per-engine params for shard i of n: the

@@ -790,3 +790,150 @@ func checkpointCommitBarrier(t *testing.T, o Options) {
 		}
 	}
 }
+
+// TestShardSnapshotCut pins a multi-shard snapshot under concurrent
+// cross-shard commits and requires every observed cut to be
+// all-or-nothing: a 2PC unit writing the same value to one block per
+// shard must never be seen applied on one shard and not another. The
+// pinned cut must also stay byte-stable while commits continue.
+func TestShardSnapshotCut(t *testing.T) {
+	r := newRig(t, 3, Options{})
+	d := r.d
+	bs := d.BlockSize()
+
+	// One list and one block per shard, seeded with generation 0.
+	blocks := make([]BlockID, d.Shards())
+	pay := func(gen int) []byte {
+		p := make([]byte, bs)
+		for i := range p {
+			p[i] = byte(gen*31 + i)
+		}
+		return p
+	}
+	for i := range blocks {
+		var lst ListID
+		for {
+			l, err := d.NewList(core.ARUID(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.ShardOfList(l) == i {
+				lst = l
+				break
+			}
+		}
+		b, err := d.NewBlock(core.ARUID(0), lst, core.NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(core.ARUID(0), b, pay(0)); err != nil {
+			t.Fatal(err)
+		}
+		blocks[i] = b
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		pinGen = 5
+		gens   = 25
+	)
+	commit := func(g int) error {
+		a, err := d.BeginARU()
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if err := d.Write(a, b, pay(g)); err != nil {
+				return err
+			}
+		}
+		return d.EndARU(a)
+	}
+	buf := make([]byte, bs)
+	genOf := func(p []byte) int {
+		for g := 0; g <= gens; g++ {
+			if bytes.Equal(p, pay(g)) {
+				return g
+			}
+		}
+		return -1
+	}
+	readCut := func(h *Snapshot) []int {
+		cut := make([]int, len(blocks))
+		for j, b := range blocks {
+			if err := h.Read(core.ARUID(0), b, buf); err != nil {
+				t.Fatalf("cut read: %v", err)
+			}
+			cut[j] = genOf(buf)
+		}
+		return cut
+	}
+
+	// Deterministic pin: commit pinGen generations, then pin the cut.
+	for g := 1; g <= pinGen; g++ {
+		if err := commit(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, err := d.AcquireSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Release()
+	if !pinned.CrossConsistent() {
+		t.Fatal("quiescent acquisition reported a skewed cut")
+	}
+	if n := len(pinned.Epochs()); n != d.Shards() {
+		t.Fatalf("cut has %d epochs, want %d", n, d.Shards())
+	}
+
+	// Race: keep committing while cuts are taken; every consistent cut
+	// must be all-or-nothing across shards.
+	done := make(chan error, 1)
+	go func() {
+		for g := pinGen + 1; g <= gens; g++ {
+			if err := commit(g); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; ; i++ {
+		h, err := d.AcquireSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := readCut(h)
+		consistent := h.CrossConsistent()
+		h.Release()
+		if consistent {
+			for j := 1; j < len(cut); j++ {
+				if cut[j] != cut[0] {
+					t.Fatalf("consistent cut %d straddles a cross-shard unit: generations %v", i, cut)
+				}
+			}
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The pinned cut must still serve its generation untouched.
+			if cut := readCut(pinned); cut[0] != pinGen || cut[len(cut)-1] != pinGen {
+				t.Fatalf("pinned cut drifted from generation %d: %v", pinGen, cut)
+			}
+			// The live disk has moved on to the final generation.
+			if err := d.Read(core.ARUID(0), blocks[0], buf); err != nil {
+				t.Fatal(err)
+			}
+			if g := genOf(buf); g != gens {
+				t.Fatalf("live read sees generation %d, want %d", g, gens)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -169,6 +169,9 @@ func (s *Disk) commitCrossShard(aru ARUID, u *unit, sc obs.SpanContext) error {
 	// The decision is durable; apply it on every participant. Failures
 	// past the commit point cannot abort the unit — recovery would redo
 	// it — so the first error is reported but every shard still applies.
+	// The crossApplying gauge brackets the fan-out so snapshot cuts
+	// never straddle a half-applied unit (see AcquireSnapshot).
+	s.crossApplying.Add(1)
 	applyErr := s.fanOut(u, func(i int) error {
 		if err := s.shards[i].CommitPreparedTraced(u.locals[i], csc); err != nil {
 			return fmt.Errorf("shard %d: commit prepared: %w", i, err)
@@ -176,6 +179,7 @@ func (s *Disk) commitCrossShard(aru ARUID, u *unit, sc obs.SpanContext) error {
 		return nil
 	})
 	s.crossCommits.Add(1)
+	s.crossApplying.Add(-1)
 	if spanID != 0 {
 		s.tr.EmitSpan(obs.Span{
 			Trace: sc.Trace, ID: spanID, Parent: sc.Span,

@@ -21,6 +21,12 @@ type ShardOptions = shard.Options
 // detail; see (*ShardedDisk).ShardStats.
 type ShardedStats = shard.Stats
 
+// ShardedSnapshot is a pinned read-only cut of a sharded disk: one
+// epoch per shard, validated against the 2PC apply window so a
+// consistent cut never shows a cross-shard unit partially applied.
+// Acquire one with (*ShardedDisk).AcquireSnapshot.
+type ShardedSnapshot = shard.Snapshot
+
 // A sharded disk serves the same surface as a single-engine disk —
 // local programs and the network server use it interchangeably.
 var (
